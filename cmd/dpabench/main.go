@@ -1,0 +1,99 @@
+// Command dpabench runs a single application phase under a chosen runtime
+// and machine size and prints the execution-time breakdown and runtime
+// counters — the quick way to explore one configuration.
+//
+// Usage:
+//
+//	dpabench -app bh|fmm -nodes 16 -runtime dpa|caching|blocking \
+//	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpa/internal/bh"
+	"dpa/internal/core"
+	"dpa/internal/driver"
+	"dpa/internal/fmm"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+	"dpa/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "bh", "application: bh or fmm")
+	nodes := flag.Int("nodes", 16, "simulated node count")
+	rtName := flag.String("runtime", "dpa", "runtime: dpa, caching, or blocking")
+	bodies := flag.Int("bodies", 16384, "body count")
+	steps := flag.Int("steps", 1, "Barnes-Hut steps")
+	terms := flag.Int("terms", 29, "FMM expansion terms")
+	strip := flag.Int("strip", 50, "DPA strip size")
+	agg := flag.Int("agg", 16, "DPA aggregation limit (1 disables, 0 unlimited)")
+	noPipe := flag.Bool("nopipe", false, "disable DPA message pipelining")
+	seed := flag.Int64("seed", 42, "workload seed")
+	trace := flag.Bool("trace", false, "print a per-node activity Gantt chart")
+	flag.Parse()
+
+	var spec driver.Spec
+	switch *rtName {
+	case "dpa":
+		c := core.Default()
+		c.Strip = *strip
+		c.AggLimit = *agg
+		c.Pipeline = !*noPipe
+		spec = driver.Spec{Kind: driver.DPA, Core: c}
+	case "caching":
+		spec = driver.CachingSpec()
+	case "blocking":
+		spec = driver.BlockingSpec()
+	default:
+		fmt.Fprintf(os.Stderr, "dpabench: unknown runtime %q\n", *rtName)
+		os.Exit(1)
+	}
+
+	mcfg := machine.DefaultT3D(*nodes)
+	if *trace {
+		mcfg.TraceBins = 50_000 // ~0.3 ms bins at 150 MHz; Gantt re-bins to fit
+	}
+	var run stats.Run
+	switch *app {
+	case "bh":
+		w := nbody.Plummer(*bodies, *seed)
+		run = bh.RunSteps(mcfg, spec, w, *steps, bh.DefaultParams())
+	case "fmm":
+		w := nbody.Uniform2D(*bodies, *seed)
+		prm := fmm.DefaultParams(*bodies)
+		prm.Terms = *terms
+		run, _ = fmm.RunStep(mcfg, spec, w, prm)
+	default:
+		fmt.Fprintf(os.Stderr, "dpabench: unknown app %q\n", *app)
+		os.Exit(1)
+	}
+
+	sec := mcfg.Seconds
+	local, comm, idle := run.AvgPerNode()
+	fmt.Printf("app=%s nodes=%d runtime=%s\n", *app, *nodes, spec)
+	fmt.Printf("time      %10.3f s (simulated, %.0f MHz clock)\n", sec(run.Makespan), mcfg.ClockHz/1e6)
+	fmt.Printf("local     %10.3f s/node\n", sec(local))
+	fmt.Printf("comm ovhd %10.3f s/node\n", sec(comm))
+	fmt.Printf("idle      %10.3f s/node\n", sec(idle))
+	fmt.Printf("breakdown |%s|\n", run.BarChart(50))
+	fmt.Printf("messages  %d (%.2f MB)\n", run.MsgsSent(), float64(run.BytesSent())/1e6)
+	rt := run.RT
+	fmt.Printf("threads   %d run, %d spawns (%d local, %d reused, %d fetched)\n",
+		rt.ThreadsRun, rt.Spawns, rt.LocalHits, rt.Reuses, rt.Fetches)
+	if rt.ReqMsgs > 0 {
+		fmt.Printf("requests  %d messages, %.1f objects/message\n",
+			rt.ReqMsgs, float64(rt.Fetches)/float64(rt.ReqMsgs))
+	}
+	fmt.Printf("peak      %d outstanding threads, %.1f KB renamed copies\n",
+		rt.PeakOutstanding, float64(rt.PeakArrivedBytes)/1024)
+	if *trace && run.Timeline != nil {
+		fmt.Printf("\nactivity timeline (#=local +=comm .=idle), one row per node:\n")
+		for i, row := range run.Timeline.Gantt(100) {
+			fmt.Printf("%3d |%s|\n", i, row)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation section (as indexed in DESIGN.md).
+//
+// Usage:
+//
+//	paper [-full] [-exp ID] [-list]
+//
+// By default it runs the scaled workload; -full uses the paper's sizes
+// (16,384-body 4-step Barnes-Hut, 32,768-body 29-term FMM, up to 64 nodes),
+// which takes several minutes of host time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpa/internal/harness"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's full workload sizes")
+	exp := flag.String("exp", "", "run a single experiment by ID (e.g. T2, F1)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	maxNodes := flag.Int("maxnodes", 0, "cap processor sweeps (default: 64)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	w := harness.Scaled()
+	if *full {
+		w = harness.Full()
+	}
+	if *maxNodes > 0 {
+		w.MaxNodes = *maxNodes
+	}
+	s := harness.NewSession(w, os.Stdout)
+	if *exp != "" {
+		e, ok := harness.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paper: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s  [workload: %s]\n", e.ID, e.Title, w.Name)
+		e.Run(s)
+		return
+	}
+	harness.RunAll(s)
+}

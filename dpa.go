@@ -1,0 +1,107 @@
+// Package dpa is a Go implementation of Dynamic Pointer Alignment (DPA),
+// the runtime technique of Zhang & Chien, "Dynamic Pointer Alignment:
+// Tiling and Communication Optimizations for Parallel Pointer-based
+// Computations" (PPoPP 1997), together with everything needed to reproduce
+// the paper's evaluation: a deterministic virtual-time multicomputer
+// simulator modeled on the CRAY T3D, a Fast-Messages-style active-message
+// layer, software-caching and blocking comparator runtimes, a thread
+// partitioner for a small pointer-program IR, and the two applications
+// (Barnes-Hut and 2D FMM).
+//
+// The quick path:
+//
+//	space := dpa.NewSpace(nodes)             // build a global object space
+//	p := space.Alloc(owner, obj)             // place objects on owners
+//	run := dpa.RunPhase(dpa.DefaultT3D(nodes), space, dpa.DPASpec(50),
+//	    func(rt dpa.Runtime, ep *dpa.Endpoint, nd *dpa.Node) {
+//	        rt.Spawn(p, func(o dpa.Object) { ... }) // pointer-labeled thread
+//	        rt.Drain()
+//	    })
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package dpa
+
+import (
+	"dpa/internal/blocking"
+	"dpa/internal/caching"
+	"dpa/internal/core"
+	"dpa/internal/driver"
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+	"dpa/internal/stats"
+)
+
+// Core global-space types.
+type (
+	// Ptr is a global pointer (owner node + address).
+	Ptr = gptr.Ptr
+	// Object is a value that can live in the global space.
+	Object = gptr.Object
+	// Space is the distributed object space.
+	Space = gptr.Space
+)
+
+// Machine and messaging types.
+type (
+	// MachineConfig describes the simulated multicomputer.
+	MachineConfig = machine.Config
+	// Node is one simulated processor.
+	Node = machine.Node
+	// Endpoint is a node's active-message endpoint.
+	Endpoint = fm.EP
+)
+
+// Runtime selection types.
+type (
+	// Runtime is the common surface of the DPA, caching, and blocking
+	// runtimes.
+	Runtime = driver.Runtime
+	// Spec selects a runtime scheme and its configuration.
+	Spec = driver.Spec
+	// DPAConfig configures the DPA runtime (strip size, aggregation limit,
+	// pipelining, poll placement).
+	DPAConfig = core.Config
+	// CachingConfig configures the software-caching comparator.
+	CachingConfig = caching.Config
+	// BlockingConfig configures the blocking comparator.
+	BlockingConfig = blocking.Config
+	// RunStats is the merged result of a simulated phase.
+	RunStats = stats.Run
+)
+
+// Nil is the null global pointer.
+var Nil = gptr.Nil
+
+// NewSpace creates a global object space for n nodes.
+func NewSpace(n int) *Space { return gptr.NewSpace(n) }
+
+// DefaultT3D returns a CRAY T3D-like machine configuration for the given
+// node count (150 MHz nodes, FM-style messaging costs, 3D torus).
+func DefaultT3D(nodes int) MachineConfig { return machine.DefaultT3D(nodes) }
+
+// DPASpec selects the DPA runtime with the given strip size and the default
+// communication optimizations (aggregation + pipelining) enabled. The
+// paper's headline configuration is DPASpec(50).
+func DPASpec(strip int) Spec { return driver.DPASpec(strip) }
+
+// DPADefault returns the default DPA runtime configuration for further
+// customization; wrap it in a Spec via SpecFromDPA.
+func DPADefault() DPAConfig { return core.Default() }
+
+// SpecFromDPA wraps a custom DPA configuration in a Spec.
+func SpecFromDPA(cfg DPAConfig) Spec { return Spec{Kind: driver.DPA, Core: cfg} }
+
+// CachingSpec selects the software-caching comparator runtime.
+func CachingSpec() Spec { return driver.CachingSpec() }
+
+// BlockingSpec selects the blocking comparator runtime.
+func BlockingSpec() Spec { return driver.BlockingSpec() }
+
+// RunPhase executes one SPMD phase: body runs on every simulated node with
+// its runtime instance; a barrier closes the phase. It returns per-node
+// cost breakdowns and merged runtime counters.
+func RunPhase(mcfg MachineConfig, space *Space, spec Spec,
+	body func(rt Runtime, ep *Endpoint, nd *Node)) RunStats {
+	return driver.RunPhase(mcfg, space, spec, body)
+}

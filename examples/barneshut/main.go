@@ -1,0 +1,45 @@
+// Barneshut runs the paper's first application: the force-computation phase
+// of the Barnes-Hut N-body method on a simulated 16-node machine, under all
+// three runtimes, printing the execution-time breakdown the paper's figures
+// report.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dpa/internal/bh"
+	"dpa/internal/driver"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+)
+
+func main() {
+	nBodies := flag.Int("bodies", 8192, "number of bodies (Plummer model)")
+	nodes := flag.Int("nodes", 16, "simulated nodes")
+	steps := flag.Int("steps", 1, "time steps")
+	strip := flag.Int("strip", 50, "DPA strip size")
+	flag.Parse()
+
+	bodies := nbody.Plummer(*nBodies, 42)
+	p := bh.DefaultParams()
+	mcfg := machine.DefaultT3D(*nodes)
+
+	fmt.Printf("Barnes-Hut: %d bodies, %d step(s), theta=%.1f, %d simulated nodes\n\n",
+		*nBodies, *steps, p.Theta, *nodes)
+
+	seq := bh.SeqSteps(bodies, *steps, p)
+	seqSec := mcfg.Seconds(seq.Makespan)
+	fmt.Printf("%-12s %10.3fs  (sequential reference)\n", "sequential", seqSec)
+
+	for _, spec := range []driver.Spec{
+		driver.DPASpec(*strip), driver.CachingSpec(), driver.BlockingSpec(),
+	} {
+		run := bh.RunSteps(mcfg, spec, bodies, *steps, p)
+		sec := mcfg.Seconds(run.Makespan)
+		local, comm, idle := run.AvgPerNode()
+		fmt.Printf("%-12s %10.3fs  %5.1fx  |%s|\n", spec.String(), sec, seqSec/sec, run.BarChart(40))
+		fmt.Printf("%-12s local=%.3fs comm=%.3fs idle=%.3fs msgs=%d\n\n", "",
+			mcfg.Seconds(local), mcfg.Seconds(comm), mcfg.Seconds(idle), run.MsgsSent())
+	}
+}

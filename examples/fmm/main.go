@@ -1,0 +1,120 @@
+// Fmm runs the paper's second application: one step of the 2D fast
+// multipole method (29-term expansions, as in SPLASH-2 FMM) on a simulated
+// machine, comparing DPA against the caching runtime and checking the
+// computed fields against the O(n^2) direct method.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+
+	"dpa/internal/driver"
+	"dpa/internal/fmm"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+)
+
+func main() {
+	nBodies := flag.Int("bodies", 4096, "number of charges (uniform in the unit square)")
+	nodes := flag.Int("nodes", 16, "simulated nodes")
+	terms := flag.Int("terms", 29, "multipole expansion terms")
+	strip := flag.Int("strip", 300, "DPA strip size")
+	checkN := flag.Int("check", 512, "bodies to verify against the direct method (0 = skip)")
+	adaptive := flag.Bool("adaptive", false, "use the adaptive (CGR) algorithm on a clustered workload")
+	flag.Parse()
+
+	if *adaptive {
+		runAdaptive(*nBodies, *nodes, *terms, *checkN)
+		return
+	}
+	bodies := nbody.Uniform2D(*nBodies, 42)
+	prm := fmm.DefaultParams(*nBodies)
+	prm.Terms = *terms
+	mcfg := machine.DefaultT3D(*nodes)
+
+	fmt.Printf("FMM: %d charges, %d terms, quadtree leaf level %d, %d simulated nodes\n\n",
+		*nBodies, prm.Terms, prm.Levels, *nodes)
+
+	seq, _ := fmm.SeqStep(bodies, prm)
+	seqSec := mcfg.Seconds(seq.Makespan)
+	fmt.Printf("%-12s %9.3fs  (sequential reference)\n", "sequential", seqSec)
+
+	var dpaRes *fmm.Result
+	for _, spec := range []driver.Spec{driver.DPASpec(*strip), driver.CachingSpec()} {
+		run, res := fmm.RunStep(mcfg, spec, bodies, prm)
+		if spec.Kind == driver.DPA {
+			dpaRes = res
+		}
+		sec := mcfg.Seconds(run.Makespan)
+		fmt.Printf("%-12s %9.3fs  %5.1fx  |%s|  %.1f objs/req-msg\n",
+			spec.String(), sec, seqSec/sec, run.BarChart(40),
+			float64(run.RT.Fetches)/float64(max64(1, run.RT.ReqMsgs)))
+	}
+
+	if *checkN > 0 {
+		direct := fmm.DirectSolve(bodies)
+		n := min(*checkN, *nBodies)
+		var worst float64
+		for i := 0; i < n; i++ {
+			err := cmplx.Abs(dpaRes.Field[i]-direct.Field[i]) /
+				maxf(1e-9, cmplx.Abs(direct.Field[i]))
+			if err > worst {
+				worst = err
+			}
+		}
+		fmt.Printf("\naccuracy: worst relative field error over %d bodies = %.2e\n", n, worst)
+	}
+}
+
+// runAdaptive exercises the adaptive Carrier-Greengard-Rokhlin variant on
+// a clustered distribution, where the uniform grid would waste cells.
+func runAdaptive(nBodies, nodes, terms, checkN int) {
+	bodies := nbody.Clustered2D(nBodies, 5, 42)
+	mcfg := machine.DefaultT3D(nodes)
+	tr := fmm.BuildAdaptive(bodies, 10, terms, 16)
+	leaves, maxLvl := 0, int32(0)
+	for ci := range tr.Cells {
+		if tr.Cells[ci].Leaf {
+			leaves++
+		}
+		if tr.Cells[ci].Level > maxLvl {
+			maxLvl = tr.Cells[ci].Level
+		}
+	}
+	fmt.Printf("adaptive FMM: %d clustered charges, %d terms, %d cells (%d leaves, depth %d), %d nodes\n\n",
+		nBodies, terms, len(tr.Cells), leaves, maxLvl, nodes)
+	for _, spec := range []driver.Spec{driver.DPASpec(100), driver.CachingSpec()} {
+		run, res := fmm.RunAdaptiveStep(mcfg, spec, bodies, 10, terms, 16)
+		fmt.Printf("%-12s %9.3fs  |%s|  %.1f objs/req-msg\n",
+			spec.String(), mcfg.Seconds(run.Makespan), run.BarChart(40),
+			float64(run.RT.Fetches)/float64(max64(1, run.RT.ReqMsgs)))
+		if checkN > 0 {
+			direct := fmm.DirectSolve(bodies)
+			n := min(checkN, nBodies)
+			var worst float64
+			for i := 0; i < n; i++ {
+				err := cmplx.Abs(res.Field[i]-direct.Field[i]) /
+					maxf(1e-9, cmplx.Abs(direct.Field[i]))
+				if err > worst {
+					worst = err
+				}
+			}
+			fmt.Printf("%-12s worst relative field error over %d bodies: %.2e\n", "", n, worst)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

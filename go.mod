@@ -1,0 +1,3 @@
+module dpa
+
+go 1.22

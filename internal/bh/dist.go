@@ -1,0 +1,255 @@
+package bh
+
+import (
+	"dpa/internal/driver"
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// CellObj is the octree cell as a global object. Leaf cells carry their
+// bodies inline — the paper's codes benefit from inline allocation of
+// objects ("to enlarge object granularity that amortizes object access
+// overhead and simplifies communication of object state"), and we follow
+// suit: one leaf fetch delivers all its bodies.
+type CellObj struct {
+	Idx    int32
+	Center [3]float64
+	Half   float64
+	Mass   float64
+	COM    [3]float64
+	Quad   [6]float64
+	Child  [8]gptr.Ptr
+	Leaf   bool
+
+	// Leaf payload (inline bodies).
+	BIdx  []int32
+	BPos  [][3]float64
+	BMass []float64
+}
+
+// ByteSize models the serialized size: internal cells are dominated by the
+// summary and eight child pointers; leaves by their inline bodies.
+func (c *CellObj) ByteSize() int {
+	if c.Leaf {
+		return 64 + 36*len(c.BIdx)
+	}
+	return 136
+}
+
+// Dist is the distributed form of a tree: every cell placed in the global
+// space, bodies partitioned into per-node costzones.
+type Dist struct {
+	T          *Tree
+	Space      *gptr.Space
+	Ptrs       []gptr.Ptr // per cell index
+	BodyOwner  []int32
+	LocalBody  [][]int32 // per node, in Morton (zone) order
+	ReplDepth  int32
+	Replicated int // number of replicated cells
+}
+
+// Distribute partitions bodies into costzones (weighted by cost, nil for
+// unit weights), assigns every cell to the owner of its first body, and
+// replicates cells shallower than replDepth on all nodes (the standard
+// "upper tree is locally essential everywhere" idiom).
+func Distribute(t *Tree, nodes int, replDepth int, cost []float64) *Dist {
+	d := &Dist{
+		T:         t,
+		Space:     gptr.NewSpace(nodes),
+		Ptrs:      make([]gptr.Ptr, len(t.Cells)),
+		ReplDepth: int32(replDepth),
+	}
+	d.BodyOwner = nbody.Partition(t.Bodies, cost, nodes, func(b nbody.Body) uint64 {
+		return nbody.Morton3D(b.Pos, t.Min, t.Size)
+	})
+	d.LocalBody = make([][]int32, nodes)
+	for i, o := range d.BodyOwner {
+		d.LocalBody[o] = append(d.LocalBody[o], int32(i))
+	}
+	d.place(t.Root)
+	return d
+}
+
+// place allocates cells post-order (children before parents, so parents can
+// embed child pointers).
+func (d *Dist) place(ci int32) gptr.Ptr {
+	c := &d.T.Cells[ci]
+	obj := &CellObj{
+		Idx:    ci,
+		Center: c.Center,
+		Half:   c.Half,
+		Mass:   c.Mass,
+		COM:    c.COM,
+		Quad:   c.Quad,
+		Leaf:   c.Leaf,
+	}
+	for i := range obj.Child {
+		obj.Child[i] = gptr.Nil
+	}
+	if c.Leaf {
+		for _, bi := range c.Body {
+			b := &d.T.Bodies[bi]
+			obj.BIdx = append(obj.BIdx, bi)
+			obj.BPos = append(obj.BPos, b.Pos)
+			obj.BMass = append(obj.BMass, b.Mass)
+		}
+	} else {
+		for i, ch := range c.Child {
+			if ch != -1 {
+				obj.Child[i] = d.place(ch)
+			}
+		}
+	}
+	var p gptr.Ptr
+	if c.Depth < d.ReplDepth {
+		p = d.Space.AllocReplicated(obj)
+		d.Replicated++
+	} else {
+		owner := 0
+		if c.FirstBody >= 0 {
+			owner = int(d.BodyOwner[c.FirstBody])
+		}
+		p = d.Space.Alloc(owner, obj)
+	}
+	d.Ptrs[ci] = p
+	return p
+}
+
+// Params bundles the physical and algorithmic parameters of a run.
+type Params struct {
+	Theta     float64 // opening criterion
+	Eps       float64 // softening
+	Quad      bool    // apply quadrupole corrections to body-cell terms
+	LeafCap   int
+	ReplDepth int
+	DT        float64 // leapfrog step
+	Costs     CostModel
+}
+
+// DefaultParams matches the SPLASH-2 style configuration.
+func DefaultParams() Params {
+	return Params{
+		Theta:     1.0,
+		Eps:       0.05,
+		LeafCap:   4,
+		ReplDepth: 1, // only the root is replicated; the runtimes handle all other locality
+		DT:        0.025,
+		Costs:     DefaultCosts(),
+	}
+}
+
+// ForcePhase computes accelerations for the node's local bodies under the
+// given runtime, writing into acc (indexed by body). This is the paper's
+// measured phase: a strip-mined top-level concurrent loop over bodies, each
+// iteration a data-dependent traversal decomposed into cell-labeled
+// non-blocking threads. If work is non-nil, per-body interaction counts are
+// recorded into it (the weights for next step's costzones).
+func ForcePhase(rt driver.Runtime, nd *machine.Node, d *Dist, p Params, acc [][3]float64, work []float64) {
+	local := d.LocalBody[nd.ID()]
+	rootPtr := d.Ptrs[d.T.Root]
+	cm := p.Costs
+	rt.ForAll(len(local), func(k int) {
+		bi := local[k]
+		pos := d.T.Bodies[bi].Pos
+		var walk func(o gptr.Object)
+		walk = func(o gptr.Object) {
+			c := o.(*CellObj)
+			nd.Charge(sim.Compute, cm.OpenTest)
+			if open(2*c.Half, c.COM, pos, p.Theta) {
+				if c.Leaf {
+					for j := range c.BIdx {
+						if c.BIdx[j] == bi {
+							continue
+						}
+						nd.Charge(sim.Compute, cm.BodyBody)
+						a := Accel(pos, c.BPos[j], c.BMass[j], p.Eps)
+						for dd := 0; dd < 3; dd++ {
+							acc[bi][dd] += a[dd]
+						}
+						if work != nil {
+							work[bi]++
+						}
+					}
+					return
+				}
+				for _, ch := range c.Child {
+					if !ch.IsNil() {
+						rt.Spawn(ch, walk)
+					}
+				}
+				return
+			}
+			nd.Charge(sim.Compute, cm.BodyCell)
+			a := Accel(pos, c.COM, c.Mass, p.Eps)
+			for dd := 0; dd < 3; dd++ {
+				acc[bi][dd] += a[dd]
+			}
+			if p.Quad {
+				nd.Charge(sim.Compute, cm.QuadExtra)
+				aq := AccelQuad(pos, c.COM, c.Quad, p.Eps)
+				for dd := 0; dd < 3; dd++ {
+					acc[bi][dd] += aq[dd]
+				}
+			}
+			if work != nil {
+				work[bi]++
+			}
+		}
+		rt.Spawn(rootPtr, walk)
+	})
+}
+
+// RunSteps simulates `steps` force-computation phases of Barnes-Hut on the
+// given machine under spec, rebuilding the tree and advancing bodies
+// between phases (rebuild and integration are host-side and uncharged, as
+// the paper measures only the force phase). Bodies are partitioned with
+// costzones weighted by the previous step's per-body interaction counts,
+// as in SPLASH-2 (the first step uses unit weights). It returns the merged
+// run.
+func RunSteps(mcfg machine.Config, spec driver.Spec, bodies []nbody.Body, steps int, p Params) stats.Run {
+	var total stats.Run
+	cur := make([]nbody.Body, len(bodies))
+	copy(cur, bodies)
+	var cost []float64
+	for s := 0; s < steps; s++ {
+		t := Build(cur, p.LeafCap)
+		d := Distribute(t, mcfg.Nodes, p.ReplDepth, cost)
+		acc := make([][3]float64, len(cur))
+		work := make([]float64, len(cur))
+		run := driver.RunPhase(mcfg, d.Space, spec, func(rt driver.Runtime, ep *fm.EP, nd *machine.Node) {
+			ForcePhase(rt, nd, d, p, acc, work)
+		})
+		total.Merge(run)
+		nbody.Leapfrog(cur, acc, p.DT)
+		cost = work
+	}
+	return total
+}
+
+// SeqSteps simulates the sequential reference: one node, recursive
+// traversal, no runtime overheads. Its makespan is the speedup denominator
+// (the paper's 97.84 s configuration).
+func SeqSteps(bodies []nbody.Body, steps int, p Params) stats.Run {
+	var total stats.Run
+	work := make([]nbody.Body, len(bodies))
+	copy(work, bodies)
+	mcfg := machine.DefaultT3D(1)
+	for s := 0; s < steps; s++ {
+		t := Build(work, p.LeafCap)
+		acc := make([][3]float64, len(work))
+		m := machine.New(mcfg)
+		makespan := m.Run(func(nd *machine.Node) {
+			for i := range work {
+				nd.Touch(uint64(i)) // body load
+				acc[i] = t.ForceOn(int32(i), p.Theta, p.Eps, p.Quad, p.Costs, nd.Charge, nil)
+			}
+		})
+		total.Merge(stats.Collect(m, makespan))
+		nbody.Leapfrog(work, acc, p.DT)
+	}
+	return total
+}

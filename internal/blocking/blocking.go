@@ -1,0 +1,144 @@
+// Package blocking implements the naive baseline runtime: every remote
+// access is a blocking round trip with no caching, no aggregation, and no
+// overlap of communication with computation. It exposes the same Spawn
+// interface as the DPA and caching runtimes, but a spawned thread simply
+// executes at its creation site, stalling the node on each remote
+// dereference. This is the "unoptimized" end of the paper's breakdown
+// figures: its bars are dominated by idle time and per-message overhead.
+package blocking
+
+import (
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// Thread is a thread body, as in the core package.
+type Thread func(obj gptr.Object)
+
+// Config selects the blocking runtime's costs.
+type Config struct {
+	// SpawnCost is overhead per creation site (the call itself).
+	SpawnCost sim.Time
+}
+
+// Default returns the standard blocking-runtime configuration.
+func Default() Config { return Config{SpawnCost: 4} }
+
+// Proto holds the fetch-protocol handler ids.
+type Proto struct {
+	hReq   int
+	hReply int
+}
+
+type fetchReq struct {
+	ptr gptr.Ptr
+}
+
+type fetchReply struct {
+	ptr gptr.Ptr
+	obj gptr.Object
+}
+
+const msgHeaderBytes = 4
+
+// RegisterProto installs the blocking fetch handlers on net.
+func RegisterProto(net *fm.Net) *Proto {
+	p := &Proto{}
+	p.hReq = net.Register(onFetchReq)
+	p.hReply = net.Register(onFetchReply)
+	return p
+}
+
+func onFetchReq(ep *fm.EP, m sim.Message) {
+	rt := ep.Ctx.(*RT)
+	req := m.Payload.(fetchReq)
+	ep.Node.Touch(req.ptr.Key())
+	o := rt.Space.Get(req.ptr)
+	ep.Send(m.From, rt.proto.hReply, fetchReply{ptr: req.ptr, obj: o},
+		msgHeaderBytes+gptr.PtrBytes+o.ByteSize())
+}
+
+func onFetchReply(ep *fm.EP, m sim.Message) {
+	rt := ep.Ctx.(*RT)
+	rep := m.Payload.(fetchReply)
+	rt.replyObj = rep.obj
+	rt.replyOK = true
+}
+
+// RT is the per-node blocking runtime.
+type RT struct {
+	EP    *fm.EP
+	Space *gptr.Space
+	Cfg   Config
+	proto *Proto
+
+	// Depth of nested Spawn calls, to keep TOUCH semantics: only one
+	// outstanding blocking fetch at a time per node.
+	replyObj gptr.Object
+	replyOK  bool
+
+	st stats.RTStats
+}
+
+// New creates the blocking runtime for one node.
+func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
+	rt := &RT{EP: ep, Space: space, Cfg: cfg, proto: proto}
+	ep.Ctx = rt
+	return rt
+}
+
+// Stats returns the node's runtime counters.
+func (rt *RT) Stats() stats.RTStats { return rt.st }
+
+// Spawn executes fn immediately. Remote pointers cost a full round trip
+// (TOUCH semantics: issue the read and block until it completes), during
+// which the node serves incoming requests but performs no local work.
+func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
+	if p.IsNil() {
+		panic("blocking: Spawn with nil pointer")
+	}
+	n := rt.EP.Node
+	n.Charge(sim.SchedOv, rt.Cfg.SpawnCost)
+	rt.st.Spawns++
+	rt.st.ThreadsRun++
+	var o gptr.Object
+	if rt.Space.LocalOrRepl(p, n.ID()) {
+		rt.st.LocalHits++
+		o = rt.Space.Get(p)
+	} else {
+		o = rt.fetch(p)
+	}
+	n.Touch(p.Key())
+	fn(o)
+}
+
+// fetch performs one blocking single-object read.
+func (rt *RT) fetch(p gptr.Ptr) gptr.Object {
+	rt.st.Fetches++
+	rt.st.ReqMsgs++
+	rt.EP.Send(int(p.Node), rt.proto.hReq, fetchReq{ptr: p},
+		msgHeaderBytes+gptr.PtrBytes)
+	// Nested fetches cannot occur: Spawn runs synchronously and handlers
+	// never call Spawn, so at most one reply is outstanding per node.
+	for !rt.replyOK {
+		rt.EP.WaitAndDispatch()
+	}
+	rt.replyOK = false
+	o := rt.replyObj
+	rt.replyObj = nil
+	return o
+}
+
+// Drain is a no-op: blocking threads complete at their creation sites. It
+// still polls once so that pending service requests are handled promptly.
+func (rt *RT) Drain() { rt.EP.Poll() }
+
+// ForAll runs spawnIter for every index in order.
+func (rt *RT) ForAll(n int, spawnIter func(i int)) {
+	for i := 0; i < n; i++ {
+		spawnIter(i)
+	}
+	rt.Drain()
+}

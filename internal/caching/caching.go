@@ -1,0 +1,267 @@
+// Package caching implements the software-caching runtime that the paper
+// compares DPA against (in the style of Olden's software caching [3] and
+// application-specific shared-memory protocols [14]).
+//
+// The programming model is the same pointer-labeled non-blocking thread
+// interface as the DPA runtime, so applications run unchanged. The
+// differences are exactly the ones the paper attributes its advantage to:
+//
+//   - every global access pays a hash probe into the object cache
+//     (DPA pays a table cost only for remote, not-yet-arrived pointers and
+//     accesses local and renamed copies directly — "minimized hashing");
+//   - a miss requests a single object; there is no aggregation;
+//   - cached objects persist for the whole phase, so caching refetches less
+//     than strip-mined DPA — but its accesses are scattered in time, so it
+//     loses the grouped data-cache reuse of aligned threads.
+package caching
+
+import (
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// Thread is a non-blocking thread body, as in the core package.
+type Thread func(obj gptr.Object)
+
+// Config selects the caching runtime's costs and scheduling.
+type Config struct {
+	// PollEvery is ready-thread executions between polls (<= 0 means 1).
+	PollEvery int
+	// SpawnCost is runtime overhead per thread-creation site.
+	SpawnCost sim.Time
+	// ExecCost is scheduler overhead per thread dispatch.
+	ExecCost sim.Time
+	// Capacity bounds the software cache in objects; 0 means unbounded.
+	// A bounded cache evicts in FIFO insertion order, so hot objects can be
+	// refetched (capacity misses) — the realistic configuration for
+	// fixed-size software caches.
+	Capacity int
+}
+
+// Default returns the standard caching-runtime configuration. The hash
+// probe cost itself comes from the machine config (Config.HashCost).
+func Default() Config {
+	return Config{PollEvery: 1, SpawnCost: 75, ExecCost: 45}
+}
+
+func (c *Config) pollEvery() int {
+	if c.PollEvery <= 0 {
+		return 1
+	}
+	return c.PollEvery
+}
+
+// Proto holds the fetch-protocol handler ids.
+type Proto struct {
+	hReq   int
+	hReply int
+}
+
+type fetchReq struct {
+	ptr gptr.Ptr
+}
+
+type fetchReply struct {
+	ptr gptr.Ptr
+	obj gptr.Object
+}
+
+const msgHeaderBytes = 4
+
+// RegisterProto installs the caching fetch handlers on net.
+func RegisterProto(net *fm.Net) *Proto {
+	p := &Proto{}
+	p.hReq = net.Register(onFetchReq)
+	p.hReply = net.Register(onFetchReply)
+	return p
+}
+
+func onFetchReq(ep *fm.EP, m sim.Message) {
+	rt := ep.Ctx.(*RT)
+	req := m.Payload.(fetchReq)
+	ep.Node.Touch(req.ptr.Key())
+	o := rt.Space.Get(req.ptr)
+	ep.Send(m.From, rt.proto.hReply, fetchReply{ptr: req.ptr, obj: o},
+		msgHeaderBytes+gptr.PtrBytes+o.ByteSize())
+}
+
+func onFetchReply(ep *fm.EP, m sim.Message) {
+	rt := ep.Ctx.(*RT)
+	rep := m.Payload.(fetchReply)
+	rt.pendingReplies--
+	if rt.Cfg.Capacity > 0 {
+		for len(rt.cache) >= rt.Cfg.Capacity && len(rt.evictQueue) > 0 {
+			victim := rt.evictQueue[0]
+			rt.evictQueue = rt.evictQueue[1:]
+			if old, ok := rt.cache[victim]; ok {
+				rt.cacheBytes -= int64(old.ByteSize())
+				delete(rt.cache, victim)
+			}
+		}
+	}
+	rt.cache[rep.ptr] = rep.obj
+	rt.evictQueue = append(rt.evictQueue, rep.ptr)
+	rt.cacheBytes += int64(rep.obj.ByteSize())
+	if rt.cacheBytes > rt.st.PeakArrivedBytes {
+		rt.st.PeakArrivedBytes = rt.cacheBytes
+	}
+	ws := rt.waitersFor[rep.ptr]
+	delete(rt.waitersFor, rep.ptr)
+	rt.waiting -= len(ws)
+	for _, fn := range ws {
+		rt.ready = append(rt.ready, readyEntry{key: rep.ptr.Key(), obj: rep.obj, fn: fn, remote: true})
+	}
+	rt.trackPeak()
+}
+
+// RT is the per-node software-caching runtime.
+type RT struct {
+	EP    *fm.EP
+	Space *gptr.Space
+	Cfg   Config
+	proto *Proto
+
+	cache      map[gptr.Ptr]gptr.Object
+	cacheBytes int64
+	evictQueue []gptr.Ptr
+	waitersFor map[gptr.Ptr][]Thread
+	waiting    int
+
+	ready     []readyEntry
+	readyHead int
+
+	pendingReplies int
+	st             stats.RTStats
+}
+
+type readyEntry struct {
+	key    uint64
+	obj    gptr.Object
+	fn     Thread
+	remote bool
+}
+
+// New creates the caching runtime for one node.
+func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
+	rt := &RT{
+		EP:         ep,
+		Space:      space,
+		Cfg:        cfg,
+		proto:      proto,
+		cache:      make(map[gptr.Ptr]gptr.Object),
+		waitersFor: make(map[gptr.Ptr][]Thread),
+	}
+	ep.Ctx = rt
+	return rt
+}
+
+// Stats returns the node's runtime counters.
+func (rt *RT) Stats() stats.RTStats { return rt.st }
+
+// Spawn registers a thread for pointer p. Every spawn pays a hash probe;
+// hits run from the cache, misses send a single-object request and suspend
+// the thread until the reply.
+func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
+	if p.IsNil() {
+		panic("caching: Spawn with nil pointer")
+	}
+	n := rt.EP.Node
+	n.Charge(sim.SchedOv, rt.Cfg.SpawnCost)
+	rt.st.Spawns++
+	if rt.Space.LocalOrRepl(p, n.ID()) {
+		// Local and replicated objects take the cheap address-check fast
+		// path (subsumed in SpawnCost), as in Olden-style software caching.
+		rt.st.LocalHits++
+		rt.ready = append(rt.ready, readyEntry{key: p.Key(), obj: rt.Space.Get(p), fn: fn})
+		rt.trackPeak()
+		return
+	}
+	// Every remote access is mediated by the cache hash table: one probe at
+	// the access site...
+	n.Charge(sim.HashOv, n.Cfg().HashCost)
+	if o, ok := rt.cache[p]; ok {
+		rt.st.Reuses++
+		rt.ready = append(rt.ready, readyEntry{key: p.Key(), obj: o, fn: fn, remote: true})
+		rt.trackPeak()
+		return
+	}
+	if ws, ok := rt.waitersFor[p]; ok {
+		rt.st.Reuses++
+		rt.waitersFor[p] = append(ws, fn)
+		rt.waiting++
+		rt.trackPeak()
+		return
+	}
+	rt.waitersFor[p] = []Thread{fn}
+	rt.waiting++
+	rt.st.Fetches++
+	rt.st.ReqMsgs++
+	rt.EP.Send(int(p.Node), rt.proto.hReq, fetchReq{ptr: p},
+		msgHeaderBytes+gptr.PtrBytes)
+	rt.pendingReplies++
+	rt.trackPeak()
+}
+
+// Drain runs until all spawned work completes, serving remote requests
+// while waiting.
+func (rt *RT) Drain() {
+	pollEvery := rt.Cfg.pollEvery()
+	for {
+		rt.EP.Poll()
+		ran := 0
+		for rt.readyLen() > 0 && ran < pollEvery {
+			rt.runOne()
+			ran++
+		}
+		if rt.readyLen() > 0 {
+			continue
+		}
+		if rt.pendingReplies > 0 {
+			rt.EP.WaitAndDispatch()
+			continue
+		}
+		return
+	}
+}
+
+// ForAll runs spawnIter for every index. The caching runtime has no memory
+// pressure from renamed copies, so the loop is not strip-mined; threads are
+// admitted in bulk and drained once.
+func (rt *RT) ForAll(n int, spawnIter func(i int)) {
+	for i := 0; i < n; i++ {
+		spawnIter(i)
+	}
+	rt.Drain()
+}
+
+func (rt *RT) readyLen() int { return len(rt.ready) - rt.readyHead }
+
+func (rt *RT) runOne() {
+	e := rt.ready[rt.readyHead]
+	rt.ready[rt.readyHead] = readyEntry{}
+	rt.readyHead++
+	if rt.readyHead == len(rt.ready) {
+		rt.ready = rt.ready[:0]
+		rt.readyHead = 0
+	}
+	n := rt.EP.Node
+	n.Charge(sim.SchedOv, rt.Cfg.ExecCost)
+	if e.remote {
+		// ...and another probe when the thread body dereferences the
+		// pointer again. DPA avoids this re-translation by renaming
+		// (access hoisting): its threads receive a direct pointer.
+		n.Charge(sim.HashOv, n.Cfg().HashCost)
+	}
+	n.Touch(e.key)
+	rt.st.ThreadsRun++
+	e.fn(e.obj)
+}
+
+func (rt *RT) trackPeak() {
+	out := int64(rt.waiting + rt.readyLen())
+	if out > rt.st.PeakOutstanding {
+		rt.st.PeakOutstanding = out
+	}
+}

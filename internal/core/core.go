@@ -1,0 +1,433 @@
+// Package core implements Dynamic Pointer Alignment (DPA), the paper's
+// primary contribution: a runtime that schedules pointer-labeled
+// non-blocking threads and their communication together, so that
+//
+//   - threads that use the same global object execute back to back
+//     (generalized tiling: data reuse while the object is hot),
+//   - object requests are issued early and overlap with local execution
+//     (message pipelining), and
+//   - requests to the same owner node are batched (message aggregation).
+//
+// The programming model matches the paper's compiler output: a computation
+// is decomposed into threads, each of which dereferences exactly one global
+// pointer, hoisted to thread entry. A thread-creation site is labeled with
+// that pointer and registered via Spawn. The runtime maintains the two
+// tables from the paper:
+//
+//	M : pointer -> dependent (suspended) threads, updated at Spawn
+//	D : pointer -> fetch state (in flight, or an arrived renamed copy)
+//
+// Top-level concurrent loops are strip-mined (ForAll) with a static strip
+// size, like k-bounded loops, to bound the memory consumed by outstanding
+// thread state and renamed copies. Renamed copies are dropped at strip
+// boundaries; the strip size therefore trades refetch traffic against
+// memory, which the paper's "DPA (50)" / "DPA (300)" configurations explore.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// Thread is a non-blocking thread body. It receives the (local or renamed)
+// object for the pointer its creation site was labeled with, and must not
+// block; it may create further threads via Spawn.
+type Thread func(obj gptr.Object)
+
+// Config selects the DPA scheduling and communication policy.
+type Config struct {
+	// Strip is the static strip size for top-level concurrent loops
+	// (the paper's headline configuration is 50). <= 0 means no
+	// strip-mining (the whole loop is one strip).
+	Strip int
+	// AggLimit is the maximum number of pointers per request message.
+	// 1 disables aggregation; <= 0 means unlimited.
+	AggLimit int
+	// Pipeline enables eager flushing of request buffers so communication
+	// overlaps thread execution. When false, requests are deferred until
+	// the ready queue drains (no overlap).
+	Pipeline bool
+	// PollEvery is the number of ready-thread executions between network
+	// polls. <= 0 defaults to 1 (poll every iteration, the paper's
+	// conservative placement).
+	PollEvery int
+	// LIFO selects a depth-first ready-queue discipline instead of the
+	// default FIFO. The paper's compiler chooses among scheduling
+	// templates; the queue discipline is the scheduling half of that
+	// choice — LIFO finishes traversal subtrees before starting new ones
+	// (less outstanding state), FIFO preserves reply-grouping order.
+	LIFO bool
+
+	// SpawnCost is runtime overhead charged per thread-creation site.
+	SpawnCost sim.Time
+	// ExecCost is scheduler overhead charged per thread dispatch.
+	ExecCost sim.Time
+	// MapCost is the cost of one M/D table operation (paid only on spawns
+	// that reference remote objects; this is the "minimized hashing"
+	// advantage over software caching, which probes on every access).
+	MapCost sim.Time
+}
+
+// Default returns the paper's headline configuration: strip size 50,
+// aggregation and pipelining enabled.
+func Default() Config {
+	return Config{
+		Strip:     50,
+		AggLimit:  16,
+		Pipeline:  true,
+		PollEvery: 1,
+		SpawnCost: 90, // allocate+label the continuation, owner test, M/D bookkeeping
+		ExecCost:  54, // dequeue, dispatch through the renamed pointer
+		MapCost:   30,
+	}
+}
+
+func (c *Config) aggLimit() int {
+	if c.AggLimit <= 0 {
+		return math.MaxInt
+	}
+	return c.AggLimit
+}
+
+func (c *Config) pollEvery() int {
+	if c.PollEvery <= 0 {
+		return 1
+	}
+	return c.PollEvery
+}
+
+// Proto holds the fetch-protocol handler ids on a shared fm.Net. Register
+// once per Net, before endpoints are created.
+type Proto struct {
+	hReq   int
+	hReply int
+}
+
+// fetchReq asks an owner for a batch of its objects.
+type fetchReq struct {
+	ptrs []gptr.Ptr
+}
+
+// fetchReply carries the objects back. In the simulator objects are
+// transferred by reference (phases are read-only); the byte size models
+// serialization.
+type fetchReply struct {
+	ptrs []gptr.Ptr
+	objs []gptr.Object
+}
+
+const msgHeaderBytes = 4
+
+// RegisterProto installs the DPA fetch handlers on net.
+func RegisterProto(net *fm.Net) *Proto {
+	p := &Proto{}
+	p.hReq = net.Register(onFetchReq)
+	p.hReply = net.Register(onFetchReply)
+	return p
+}
+
+func onFetchReq(ep *fm.EP, m sim.Message) {
+	rt := ep.Ctx.(*RT)
+	req := m.Payload.(fetchReq)
+	objs := make([]gptr.Object, len(req.ptrs))
+	bytes := msgHeaderBytes
+	for i, p := range req.ptrs {
+		// The owner reads the object out of its memory to serialize it.
+		ep.Node.Touch(p.Key())
+		o := rt.Space.Get(p)
+		objs[i] = o
+		bytes += o.ByteSize() + gptr.PtrBytes
+	}
+	ep.Send(m.From, rt.proto.hReply, fetchReply{ptrs: req.ptrs, objs: objs}, bytes)
+}
+
+func onFetchReply(ep *fm.EP, m sim.Message) {
+	rt := ep.Ctx.(*RT)
+	rep := m.Payload.(fetchReply)
+	rt.pendingReplies--
+	for i, p := range rep.ptrs {
+		o := rep.objs[i]
+		rt.arrived[p] = o
+		rt.arrivedBytes += int64(o.ByteSize())
+		if rt.arrivedBytes > rt.st.PeakArrivedBytes {
+			rt.st.PeakArrivedBytes = rt.arrivedBytes
+		}
+		ws := rt.m[p]
+		delete(rt.m, p)
+		rt.waiting -= len(ws)
+		// All threads dependent on p become ready together: they will run
+		// back to back, reusing the renamed copy while it is hot.
+		for _, fn := range ws {
+			rt.ready.push(readyEntry{key: p.Key(), obj: o, fn: fn})
+		}
+	}
+	rt.trackPeak()
+}
+
+// RT is the per-node DPA runtime instance.
+type RT struct {
+	EP    *fm.EP
+	Space *gptr.Space
+	Cfg   Config
+	proto *Proto
+
+	ready   readyQueue
+	m       map[gptr.Ptr][]Thread    // M: pointer -> suspended threads
+	arrived map[gptr.Ptr]gptr.Object // D: pointer -> renamed copy (this strip)
+	waiting int
+
+	agg      [][]gptr.Ptr // per-destination request buffers
+	aggDests []int        // destinations with non-empty buffers, FIFO
+	aggCount int          // total queued pointers
+
+	pendingReplies int
+
+	arrivedBytes int64
+	st           stats.RTStats
+}
+
+// New creates the runtime for one node and binds it to the endpoint (the
+// fetch handlers find it through ep.Ctx).
+func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
+	rt := &RT{
+		EP:      ep,
+		Space:   space,
+		Cfg:     cfg,
+		proto:   proto,
+		m:       make(map[gptr.Ptr][]Thread),
+		arrived: make(map[gptr.Ptr]gptr.Object),
+		agg:     make([][]gptr.Ptr, ep.Node.N()),
+	}
+	ep.Ctx = rt
+	return rt
+}
+
+// Stats returns the node's runtime counters.
+func (rt *RT) Stats() stats.RTStats { return rt.st }
+
+// Spawn registers a thread labeled with pointer p — the paper's
+// thread-creation site. If p is local or replicated the thread is
+// immediately ready with a direct object reference (no table operation).
+// Otherwise M and D route it: an already-arrived renamed copy makes it
+// ready, an in-flight fetch queues it on M, and a fresh pointer enqueues a
+// request in the owner's aggregation buffer.
+func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
+	if p.IsNil() {
+		panic("core: Spawn with nil pointer")
+	}
+	n := rt.EP.Node
+	n.Charge(sim.SchedOv, rt.Cfg.SpawnCost)
+	rt.st.Spawns++
+	if rt.Space.LocalOrRepl(p, n.ID()) {
+		rt.st.LocalHits++
+		rt.ready.push(readyEntry{key: p.Key(), obj: rt.Space.Get(p), fn: fn})
+		rt.trackPeak()
+		return
+	}
+	n.Charge(sim.SchedOv, rt.Cfg.MapCost)
+	if o, ok := rt.arrived[p]; ok {
+		rt.st.Reuses++
+		rt.ready.push(readyEntry{key: p.Key(), obj: o, fn: fn})
+		rt.trackPeak()
+		return
+	}
+	if ws, ok := rt.m[p]; ok {
+		rt.st.Reuses++
+		rt.m[p] = append(ws, fn)
+		rt.waiting++
+		rt.trackPeak()
+		return
+	}
+	rt.m[p] = []Thread{fn}
+	rt.waiting++
+	rt.st.Fetches++
+	rt.enqueueReq(p)
+	rt.trackPeak()
+}
+
+// enqueueReq adds p to its owner's aggregation buffer and, under the
+// pipelining policy, flushes the buffer when it reaches the aggregation
+// limit.
+func (rt *RT) enqueueReq(p gptr.Ptr) {
+	dst := int(p.Node)
+	if len(rt.agg[dst]) == 0 {
+		rt.aggDests = append(rt.aggDests, dst)
+	}
+	rt.agg[dst] = append(rt.agg[dst], p)
+	rt.aggCount++
+	if rt.Cfg.Pipeline && len(rt.agg[dst]) >= rt.Cfg.aggLimit() {
+		rt.flushDest(dst)
+	}
+}
+
+// flushDest sends the pending requests for one destination, in chunks of at
+// most AggLimit pointers per message.
+func (rt *RT) flushDest(dst int) {
+	ptrs := rt.agg[dst]
+	if len(ptrs) == 0 {
+		return
+	}
+	limit := rt.Cfg.aggLimit()
+	for lo := 0; lo < len(ptrs); lo += limit {
+		hi := lo + limit
+		if hi > len(ptrs) {
+			hi = len(ptrs)
+		}
+		chunk := make([]gptr.Ptr, hi-lo)
+		copy(chunk, ptrs[lo:hi])
+		rt.EP.Send(dst, rt.proto.hReq, fetchReq{ptrs: chunk},
+			msgHeaderBytes+gptr.PtrBytes*len(chunk))
+		rt.pendingReplies++
+		rt.st.ReqMsgs++
+	}
+	rt.aggCount -= len(ptrs)
+	rt.agg[dst] = rt.agg[dst][:0]
+}
+
+// FlushAll sends every pending request buffer, in destination-arrival order
+// (deterministic).
+func (rt *RT) FlushAll() {
+	for _, dst := range rt.aggDests {
+		rt.flushDest(dst)
+	}
+	rt.aggDests = rt.aggDests[:0]
+}
+
+// Drain runs the scheduler until all spawned work (including transitively
+// spawned threads) has completed: the ready queue is empty, no requests are
+// buffered, and no replies are outstanding. While waiting for replies the
+// node serves incoming requests from other nodes.
+func (rt *RT) Drain() {
+	pollEvery := rt.Cfg.pollEvery()
+	for {
+		rt.EP.Poll()
+		ran := 0
+		for rt.ready.len() > 0 && ran < pollEvery {
+			rt.runOne()
+			ran++
+		}
+		if rt.ready.len() > 0 {
+			continue
+		}
+		if rt.aggCount > 0 {
+			// Out of local work: requests can no longer be usefully
+			// deferred (this is the only send point when Pipeline=false).
+			rt.FlushAll()
+			continue
+		}
+		if rt.pendingReplies > 0 {
+			rt.EP.WaitAndDispatch()
+			continue
+		}
+		return
+	}
+}
+
+// runOne dispatches the next ready thread under the configured queue
+// discipline.
+func (rt *RT) runOne() {
+	var e readyEntry
+	if rt.Cfg.LIFO {
+		e = rt.ready.popBack()
+	} else {
+		e = rt.ready.pop()
+	}
+	n := rt.EP.Node
+	n.Charge(sim.SchedOv, rt.Cfg.ExecCost)
+	n.Touch(e.key)
+	rt.st.ThreadsRun++
+	e.fn(e.obj)
+}
+
+// ForAll is the strip-mined top-level concurrent loop: it runs
+// spawnIter(i) for every i in [0, n), admitting at most Strip top-level
+// iterations per strip and draining all (transitively spawned) work between
+// strips. Renamed copies are discarded at strip boundaries, bounding memory.
+func (rt *RT) ForAll(n int, spawnIter func(i int)) {
+	s := rt.Cfg.Strip
+	if s <= 0 {
+		s = n
+	}
+	for lo := 0; lo < n; lo += s {
+		hi := lo + s
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			spawnIter(i)
+		}
+		if rt.Cfg.Pipeline {
+			rt.FlushAll()
+		}
+		rt.Drain()
+		rt.endStrip()
+	}
+}
+
+// endStrip discards the strip's renamed copies.
+func (rt *RT) endStrip() {
+	if rt.waiting != 0 || rt.pendingReplies != 0 || rt.aggCount != 0 {
+		panic(fmt.Sprintf("core: strip ended with waiting=%d pending=%d buffered=%d",
+			rt.waiting, rt.pendingReplies, rt.aggCount))
+	}
+	clear(rt.arrived)
+	rt.arrivedBytes = 0
+}
+
+// trackPeak records the peak number of outstanding (suspended + ready)
+// threads, the strip-size/memory metric of the paper's table.
+func (rt *RT) trackPeak() {
+	out := int64(rt.waiting + rt.ready.len())
+	if out > rt.st.PeakOutstanding {
+		rt.st.PeakOutstanding = out
+	}
+}
+
+// readyEntry is a thread whose object is available.
+type readyEntry struct {
+	key uint64
+	obj gptr.Object
+	fn  Thread
+}
+
+// readyQueue is a FIFO of ready threads. FIFO order preserves the
+// contiguity of same-object groups released by one reply.
+type readyQueue struct {
+	items []readyEntry
+	head  int
+}
+
+func (q *readyQueue) len() int { return len(q.items) - q.head }
+
+func (q *readyQueue) push(e readyEntry) {
+	q.items = append(q.items, e)
+}
+
+func (q *readyQueue) pop() readyEntry {
+	e := q.items[q.head]
+	q.items[q.head] = readyEntry{} // release references
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return e
+}
+
+// popBack removes the most recently pushed entry (LIFO discipline).
+func (q *readyQueue) popBack() readyEntry {
+	last := len(q.items) - 1
+	e := q.items[last]
+	q.items[last] = readyEntry{}
+	q.items = q.items[:last]
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return e
+}

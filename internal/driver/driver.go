@@ -1,0 +1,152 @@
+// Package driver provides the common harness for running one SPMD
+// application phase under any of the three runtimes (DPA, software caching,
+// blocking) on a simulated machine, and for collecting merged statistics.
+package driver
+
+import (
+	"fmt"
+
+	"dpa/internal/blocking"
+	"dpa/internal/caching"
+	"dpa/internal/core"
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+	"dpa/internal/stats"
+)
+
+// Runtime is the common surface of the three runtimes. Applications are
+// written against it once and run under any scheme.
+type Runtime interface {
+	// Spawn registers a pointer-labeled non-blocking thread.
+	Spawn(p gptr.Ptr, fn func(obj gptr.Object))
+	// Drain completes all spawned (and transitively spawned) work.
+	Drain()
+	// ForAll is the top-level concurrent loop (strip-mined under DPA).
+	ForAll(n int, spawnIter func(i int))
+	// Stats returns the node's runtime counters.
+	Stats() stats.RTStats
+}
+
+// Interface conformance (compile-time checks via adapters below).
+var (
+	_ Runtime = (*coreAdapter)(nil)
+	_ Runtime = (*cachingAdapter)(nil)
+	_ Runtime = (*blockingAdapter)(nil)
+)
+
+// Kind names a runtime scheme.
+type Kind string
+
+// The available runtime schemes.
+const (
+	DPA      Kind = "dpa"
+	Caching  Kind = "caching"
+	Blocking Kind = "blocking"
+)
+
+// Spec selects a runtime scheme and its configuration for a run.
+type Spec struct {
+	Kind     Kind
+	Core     core.Config     // used when Kind == DPA
+	Caching  caching.Config  // used when Kind == Caching
+	Blocking blocking.Config // used when Kind == Blocking
+}
+
+// DPASpec returns a Spec for DPA with the given strip size and the default
+// communication optimizations enabled.
+func DPASpec(strip int) Spec {
+	c := core.Default()
+	c.Strip = strip
+	return Spec{Kind: DPA, Core: c}
+}
+
+// CachingSpec returns a Spec for the software-caching runtime.
+func CachingSpec() Spec { return Spec{Kind: Caching, Caching: caching.Default()} }
+
+// BlockingSpec returns a Spec for the blocking runtime.
+func BlockingSpec() Spec { return Spec{Kind: Blocking, Blocking: blocking.Default()} }
+
+// String names the spec for table rows.
+func (s Spec) String() string {
+	switch s.Kind {
+	case DPA:
+		return fmt.Sprintf("DPA(%d)", s.Core.Strip)
+	case Caching:
+		return "Caching"
+	case Blocking:
+		return "Blocking"
+	}
+	return string(s.Kind)
+}
+
+// Adapters: each runtime's Spawn takes its own Thread type; the adapters
+// unify them under the interface.
+
+type coreAdapter struct{ *core.RT }
+
+func (a coreAdapter) Spawn(p gptr.Ptr, fn func(gptr.Object)) { a.RT.Spawn(p, fn) }
+
+type cachingAdapter struct{ *caching.RT }
+
+func (a cachingAdapter) Spawn(p gptr.Ptr, fn func(gptr.Object)) { a.RT.Spawn(p, fn) }
+
+type blockingAdapter struct{ *blocking.RT }
+
+func (a blockingAdapter) Spawn(p gptr.Ptr, fn func(gptr.Object)) { a.RT.Spawn(p, fn) }
+
+// Protos bundles the three runtimes' registered protocols on one net.
+type Protos struct {
+	Net      *fm.Net
+	core     *core.Proto
+	caching  *caching.Proto
+	blocking *blocking.Proto
+}
+
+// NewProtos creates a net with all runtime protocols registered.
+func NewProtos() *Protos {
+	net := fm.NewNet()
+	return &Protos{
+		Net:      net,
+		core:     core.RegisterProto(net),
+		caching:  caching.RegisterProto(net),
+		blocking: blocking.RegisterProto(net),
+	}
+}
+
+// NewRuntime instantiates the runtime selected by spec on one node.
+func (p *Protos) NewRuntime(spec Spec, ep *fm.EP, space *gptr.Space) Runtime {
+	switch spec.Kind {
+	case DPA:
+		return coreAdapter{core.New(p.core, ep, space, spec.Core)}
+	case Caching:
+		return cachingAdapter{caching.New(p.caching, ep, space, spec.Caching)}
+	case Blocking:
+		return blockingAdapter{blocking.New(p.blocking, ep, space, spec.Blocking)}
+	}
+	panic("driver: unknown runtime kind " + string(spec.Kind))
+}
+
+// RunPhase executes one SPMD phase: body runs on every node with its
+// runtime; a barrier closes the phase (nodes keep serving until everyone is
+// done). The returned Run has per-node breakdowns and merged runtime
+// counters.
+func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
+	body func(rt Runtime, ep *fm.EP, nd *machine.Node)) stats.Run {
+
+	protos := NewProtos()
+	m := machine.New(mcfg)
+	rts := make([]Runtime, mcfg.Nodes)
+	makespan := m.Run(func(nd *machine.Node) {
+		ep := fm.NewEP(protos.Net, nd)
+		rt := protos.NewRuntime(spec, ep, space)
+		rts[nd.ID()] = rt
+		body(rt, ep, nd)
+		ep.Barrier()
+	})
+	run := stats.Collect(m, makespan)
+	for _, rt := range rts {
+		run.MergeRT(rt.Stats())
+	}
+	return run
+}

@@ -1,0 +1,102 @@
+package driver
+
+import (
+	"testing"
+
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+)
+
+type thing struct{ id int }
+
+func (thing) ByteSize() int { return 8 }
+
+func TestSpecStrings(t *testing.T) {
+	if DPASpec(300).String() != "DPA(300)" {
+		t.Error(DPASpec(300).String())
+	}
+	if CachingSpec().String() != "Caching" {
+		t.Error(CachingSpec().String())
+	}
+	if BlockingSpec().String() != "Blocking" {
+		t.Error(BlockingSpec().String())
+	}
+}
+
+func TestNewRuntimeKinds(t *testing.T) {
+	for _, spec := range []Spec{DPASpec(10), CachingSpec(), BlockingSpec()} {
+		protos := NewProtos()
+		space := gptr.NewSpace(1)
+		m := machine.New(machine.DefaultT3D(1))
+		m.Run(func(nd *machine.Node) {
+			ep := fm.NewEP(protos.Net, nd)
+			rt := protos.NewRuntime(spec, ep, space)
+			if rt == nil {
+				t.Errorf("%s: nil runtime", spec)
+			}
+		})
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	protos := NewProtos()
+	space := gptr.NewSpace(1)
+	m := machine.New(machine.DefaultT3D(1))
+	m.Run(func(nd *machine.Node) {
+		ep := fm.NewEP(protos.Net, nd)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		protos.NewRuntime(Spec{Kind: "bogus"}, ep, space)
+	})
+}
+
+func TestRunPhaseMergesAllNodes(t *testing.T) {
+	const nodes = 4
+	space := gptr.NewSpace(nodes)
+	// Each node spawns one local thread: the merged stats must count all.
+	ptrs := make([]gptr.Ptr, nodes)
+	for i := range ptrs {
+		ptrs[i] = space.Alloc(i, thing{id: i})
+	}
+	run := RunPhase(machine.DefaultT3D(nodes), space, DPASpec(10),
+		func(rt Runtime, ep *fm.EP, nd *machine.Node) {
+			rt.Spawn(ptrs[nd.ID()], func(o gptr.Object) {})
+			rt.Drain()
+		})
+	if run.RT.ThreadsRun != nodes {
+		t.Fatalf("merged ThreadsRun = %d, want %d", run.RT.ThreadsRun, nodes)
+	}
+	if len(run.Nodes) != nodes {
+		t.Fatalf("breakdowns for %d nodes", len(run.Nodes))
+	}
+}
+
+func TestRunPhaseCrossTraffic(t *testing.T) {
+	const nodes = 3
+	space := gptr.NewSpace(nodes)
+	ptrs := make([]gptr.Ptr, nodes)
+	for i := range ptrs {
+		ptrs[i] = space.Alloc(i, thing{id: i})
+	}
+	for _, spec := range []Spec{DPASpec(10), CachingSpec(), BlockingSpec()} {
+		counts := make([]int, nodes)
+		RunPhase(machine.DefaultT3D(nodes), space, spec,
+			func(rt Runtime, ep *fm.EP, nd *machine.Node) {
+				// Every node reads every object, local and remote.
+				me := nd.ID()
+				for _, p := range ptrs {
+					rt.Spawn(p, func(o gptr.Object) { counts[me]++ })
+				}
+				rt.Drain()
+			})
+		for i, c := range counts {
+			if c != nodes {
+				t.Errorf("%s: node %d ran %d threads, want %d", spec, i, c, nodes)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package em3d implements the EM3D kernel from the Olden suite — the
+// canonical pointer-based benchmark of the software-caching systems the
+// paper compares against ([3] in its bibliography). EM3D models
+// electromagnetic wave propagation on an irregular bipartite graph: E nodes
+// and H nodes, each holding a value and a list of weighted global pointers
+// to nodes of the other kind. One iteration updates every E node from its
+// H neighbors, then every H node from its E neighbors:
+//
+//	e.value -= Σ_j coeff_j · h_j.value     (then symmetrically for H)
+//
+// Each neighbor dereference is a remote read when the neighbor lives on
+// another machine node, making EM3D a sharp test of the runtimes'
+// communication optimizations: there is little computation to hide behind,
+// so message overhead, aggregation, and reuse dominate.
+package em3d
+
+import (
+	"math/rand"
+
+	"dpa/internal/driver"
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// GraphNode is one E or H node in the global space.
+type GraphNode struct {
+	Idx   int32
+	Value float64
+	// Deps are global pointers to the other-kind nodes this node reads.
+	Deps  []gptr.Ptr
+	Coeff []float64
+}
+
+// ByteSize models the transferred object (value plus header; neighbor
+// pointer lists stay home — only consumers of Value fetch the node).
+func (n *GraphNode) ByteSize() int { return 24 }
+
+// Params configures the graph.
+type Params struct {
+	// NodesPerKind is the number of E nodes (and of H nodes).
+	NodesPerKind int
+	// Degree is the number of dependencies per node.
+	Degree int
+	// LocalFrac is the probability that a dependency stays on the same
+	// machine node (Olden's "% local" parameter).
+	LocalFrac float64
+	// Seed makes graph construction deterministic.
+	Seed int64
+	// UpdateCost is cycles per neighbor accumulation.
+	UpdateCost sim.Time
+}
+
+// DefaultParams matches the classic Olden configuration shape.
+func DefaultParams(n int) Params {
+	return Params{
+		NodesPerKind: n,
+		Degree:       10,
+		LocalFrac:    0.75,
+		Seed:         7,
+		UpdateCost:   90,
+	}
+}
+
+// Graph is a built EM3D instance distributed over machine nodes.
+type Graph struct {
+	Prm   Params
+	Nodes int
+	Space *gptr.Space
+	// EPtr/HPtr index the global pointers by node index; owners are
+	// blocked: machine node m owns indices [m·per, (m+1)·per).
+	EPtr []gptr.Ptr
+	HPtr []gptr.Ptr
+	E    []*GraphNode
+	H    []*GraphNode
+	per  int
+}
+
+// Build constructs a deterministic bipartite graph distributed over the
+// given number of machine nodes.
+func Build(prm Params, nodes int) *Graph {
+	rng := rand.New(rand.NewSource(prm.Seed))
+	g := &Graph{
+		Prm:   prm,
+		Nodes: nodes,
+		Space: gptr.NewSpace(nodes),
+		EPtr:  make([]gptr.Ptr, prm.NodesPerKind),
+		HPtr:  make([]gptr.Ptr, prm.NodesPerKind),
+		E:     make([]*GraphNode, prm.NodesPerKind),
+		H:     make([]*GraphNode, prm.NodesPerKind),
+		per:   (prm.NodesPerKind + nodes - 1) / nodes,
+	}
+	for i := 0; i < prm.NodesPerKind; i++ {
+		g.E[i] = &GraphNode{Idx: int32(i), Value: rng.Float64()}
+		g.H[i] = &GraphNode{Idx: int32(i), Value: rng.Float64()}
+		owner := i / g.per
+		g.EPtr[i] = g.Space.Alloc(owner, g.E[i])
+		g.HPtr[i] = g.Space.Alloc(owner, g.H[i])
+	}
+	// Wire dependencies: mostly within the owner's block, the rest uniform.
+	wire := func(self int, other []gptr.Ptr) ([]gptr.Ptr, []float64) {
+		owner := self / g.per
+		lo := owner * g.per
+		hi := lo + g.per
+		if hi > prm.NodesPerKind {
+			hi = prm.NodesPerKind
+		}
+		deps := make([]gptr.Ptr, prm.Degree)
+		coeff := make([]float64, prm.Degree)
+		for d := 0; d < prm.Degree; d++ {
+			var j int
+			if rng.Float64() < prm.LocalFrac {
+				j = lo + rng.Intn(hi-lo)
+			} else {
+				j = rng.Intn(prm.NodesPerKind)
+			}
+			deps[d] = other[j]
+			coeff[d] = rng.Float64()
+		}
+		return deps, coeff
+	}
+	for i := 0; i < prm.NodesPerKind; i++ {
+		g.E[i].Deps, g.E[i].Coeff = wire(i, g.HPtr)
+		g.H[i].Deps, g.H[i].Coeff = wire(i, g.EPtr)
+	}
+	return g
+}
+
+// ownedRange returns the index block owned by machine node m.
+func (g *Graph) ownedRange(m int) (lo, hi int) {
+	lo = m * g.per
+	hi = lo + g.per
+	if hi > g.Prm.NodesPerKind {
+		hi = g.Prm.NodesPerKind
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Values returns copies of the current E and H values.
+func (g *Graph) Values() (e, h []float64) {
+	e = make([]float64, len(g.E))
+	h = make([]float64, len(g.H))
+	for i := range g.E {
+		e[i] = g.E[i].Value
+		h[i] = g.H[i].Value
+	}
+	return e, h
+}
+
+// seqHalf updates every node of ns from its dependencies, in place. Within
+// a half-step only the other kind is read, so in-place update is safe.
+func (g *Graph) seqHalf(ns []*GraphNode) {
+	for _, n := range ns {
+		var acc float64
+		for d := range n.Deps {
+			dep := g.Space.Get(n.Deps[d]).(*GraphNode)
+			acc += n.Coeff[d] * dep.Value
+		}
+		n.Value -= acc
+	}
+}
+
+// SeqIterate runs iters E/H update pairs sequentially on the host over a
+// fresh copy of the graph for the given machine-node count (graph wiring
+// depends on the ownership blocks), returning the final values — the
+// correctness reference for RunIters on the same node count.
+func SeqIterate(prm Params, nodes, iters int) (e, h []float64) {
+	g := Build(prm, nodes)
+	for it := 0; it < iters; it++ {
+		g.seqHalf(g.E)
+		g.seqHalf(g.H)
+	}
+	return g.Values()
+}
+
+// SeqStep simulates one E/H pair on a one-node machine (the speedup
+// baseline), charging UpdateCost per accumulation.
+func SeqStep(prm Params) stats.Run {
+	g := Build(prm, 1)
+	m := machine.New(machine.DefaultT3D(1))
+	makespan := m.Run(func(nd *machine.Node) {
+		for _, ns := range [][]*GraphNode{g.E, g.H} {
+			for _, n := range ns {
+				nd.Touch(uint64(n.Idx))
+				var acc float64
+				for d := range n.Deps {
+					dep := g.Space.Get(n.Deps[d]).(*GraphNode)
+					nd.Charge(sim.Compute, prm.UpdateCost)
+					acc += n.Coeff[d] * dep.Value
+				}
+				n.Value -= acc
+			}
+		}
+	})
+	return stats.Collect(m, makespan)
+}
+
+// RunIters simulates iters E/H pairs under spec on an n-node machine. Each
+// half-step is one SPMD phase (fresh runtimes per phase, so cached copies
+// never go stale across the value updates); updates are applied by owners
+// between phases. It returns the merged statistics and the graph (for
+// value checks).
+func RunIters(mcfg machine.Config, spec driver.Spec, prm Params, iters int) (stats.Run, *Graph) {
+	g := Build(prm, mcfg.Nodes)
+	var total stats.Run
+	for it := 0; it < iters; it++ {
+		for _, half := range []struct {
+			ns   []*GraphNode
+			ptrs []gptr.Ptr
+		}{{g.E, g.EPtr}, {g.H, g.HPtr}} {
+			acc := make([]float64, prm.NodesPerKind)
+			half := half
+			run := driver.RunPhase(mcfg, g.Space, spec,
+				func(rt driver.Runtime, ep *fm.EP, nd *machine.Node) {
+					lo, hi := g.ownedRange(nd.ID())
+					rt.ForAll(hi-lo, func(k int) {
+						n := half.ns[lo+k]
+						i := int(n.Idx)
+						for d := range n.Deps {
+							coeff := n.Coeff[d]
+							rt.Spawn(n.Deps[d], func(o gptr.Object) {
+								nd.Charge(sim.Compute, prm.UpdateCost)
+								acc[i] += coeff * o.(*GraphNode).Value
+							})
+						}
+					})
+				})
+			total.Merge(run)
+			for i := range half.ns {
+				half.ns[i].Value -= acc[i]
+			}
+		}
+	}
+	return total, g
+}

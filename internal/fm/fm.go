@@ -1,0 +1,170 @@
+// Package fm is a hand-rolled active-message layer in the style of Illinois
+// Fast Messages (FM), the messaging substrate the paper used on the CRAY
+// T3D. A message names a handler; handlers run on the receiving node when it
+// polls the network. The package also provides the collective operations the
+// applications need (barrier, all-reduce) built from the same primitives.
+package fm
+
+import (
+	"fmt"
+
+	"dpa/internal/machine"
+	"dpa/internal/sim"
+)
+
+// Handler processes one received message on the receiving node's endpoint.
+type Handler func(ep *EP, m sim.Message)
+
+// Net holds the handler table shared by all nodes of one SPMD program.
+// Handlers must be registered before the machine runs.
+type Net struct {
+	handlers []Handler
+	sealed   bool
+}
+
+// Reserved internal handler indices.
+const (
+	hBarrierArrive = iota
+	hBarrierRelease
+	hReduceArrive
+	hReduceResult
+	numInternal
+)
+
+// NewNet returns a Net with the internal collective handlers installed.
+func NewNet() *Net {
+	n := &Net{handlers: make([]Handler, numInternal)}
+	n.handlers[hBarrierArrive] = (*EP).onBarrierArrive
+	n.handlers[hBarrierRelease] = (*EP).onBarrierRelease
+	n.handlers[hReduceArrive] = (*EP).onReduceArrive
+	n.handlers[hReduceResult] = (*EP).onReduceResult
+	return n
+}
+
+// Register adds a handler and returns its id. Register must be called before
+// any endpoint is created.
+func (n *Net) Register(h Handler) int {
+	if n.sealed {
+		panic("fm: Register after endpoints created")
+	}
+	n.handlers = append(n.handlers, h)
+	return len(n.handlers) - 1
+}
+
+func (ep *EP) onBarrierArrive(m sim.Message)  { ep.barrierCount++ }
+func (ep *EP) onBarrierRelease(m sim.Message) { ep.barrierEpoch++ }
+
+func (ep *EP) onReduceArrive(m sim.Message) {
+	ep.reduceAcc += m.Payload.(float64)
+	ep.reduceCount++
+}
+
+func (ep *EP) onReduceResult(m sim.Message) {
+	ep.reduceResult = m.Payload.(float64)
+	ep.reduceDone = true
+}
+
+// EP is a node's endpoint: its handle on the network. Ctx carries
+// runtime-specific per-node state for handlers to use.
+type EP struct {
+	Node *machine.Node
+	net  *Net
+	Ctx  any
+
+	barrierCount int // arrivals seen (node 0 only)
+	barrierEpoch int // releases seen
+	barrierAt    int // barriers this node has completed
+
+	reduceAcc    float64
+	reduceCount  int
+	reduceResult float64
+	reduceDone   bool
+}
+
+// NewEP creates the endpoint for a node. Call once per node inside the SPMD
+// main function.
+func NewEP(net *Net, n *machine.Node) *EP {
+	net.sealed = true
+	return &EP{Node: n, net: net}
+}
+
+// dispatch runs handlers for the given messages, charging handler cost.
+func (ep *EP) dispatch(ms []sim.Message) int {
+	for _, m := range ms {
+		if m.Handler < 0 || m.Handler >= len(ep.net.handlers) {
+			panic(fmt.Sprintf("fm: node %d received unknown handler %d", ep.Node.ID(), m.Handler))
+		}
+		ep.Node.Charge(sim.HandlerOv, ep.Node.Cfg().HandlerCost)
+		ep.net.handlers[m.Handler](ep, m)
+	}
+	return len(ms)
+}
+
+// Poll checks the network once and dispatches any arrived messages,
+// returning how many were handled.
+func (ep *EP) Poll() int { return ep.dispatch(ep.Node.Poll()) }
+
+// WaitAndDispatch blocks until at least one message arrives (idle time),
+// then dispatches everything that has arrived.
+func (ep *EP) WaitAndDispatch() int { return ep.dispatch(ep.Node.WaitMessage()) }
+
+// Send sends an active message to dst.
+func (ep *EP) Send(dst, handler int, payload any, bytes int) {
+	ep.Node.Send(dst, handler, payload, bytes)
+}
+
+// Barrier blocks until every node has entered the same barrier. While
+// waiting, the node keeps dispatching handlers, so it continues to serve
+// remote requests — this is how nodes that finish their local work early
+// stay responsive (the paper's runtimes behave the same way under polling).
+func (ep *EP) Barrier() {
+	ep.barrierAt++
+	n := ep.Node.N()
+	if n == 1 {
+		ep.barrierEpoch++
+		return
+	}
+	if ep.Node.ID() == 0 {
+		for ep.barrierCount < n-1 {
+			ep.WaitAndDispatch()
+		}
+		ep.barrierCount -= n - 1
+		for j := 1; j < n; j++ {
+			ep.Send(j, hBarrierRelease, nil, 4)
+		}
+		ep.barrierEpoch++
+		return
+	}
+	ep.Send(0, hBarrierArrive, nil, 4)
+	for ep.barrierEpoch < ep.barrierAt {
+		ep.WaitAndDispatch()
+	}
+}
+
+// AllReduceSum computes the global sum of v across all nodes. Like Barrier,
+// it keeps dispatching while waiting.
+func (ep *EP) AllReduceSum(v float64) float64 {
+	n := ep.Node.N()
+	if n == 1 {
+		return v
+	}
+	if ep.Node.ID() == 0 {
+		for ep.reduceCount < n-1 {
+			ep.WaitAndDispatch()
+		}
+		total := ep.reduceAcc + v
+		ep.reduceAcc = 0
+		ep.reduceCount -= n - 1
+		for j := 1; j < n; j++ {
+			ep.Send(j, hReduceResult, total, 8)
+		}
+		return total
+	}
+	ep.Send(0, hReduceArrive, v, 8)
+	for !ep.reduceDone {
+		ep.WaitAndDispatch()
+	}
+	ep.reduceDone = false
+	r := ep.reduceResult
+	return r
+}

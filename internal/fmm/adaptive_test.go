@@ -1,0 +1,201 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+
+	"dpa/internal/nbody"
+)
+
+func TestAdaptiveBuildStructure(t *testing.T) {
+	bodies := nbody.Clustered2D(600, 3, 11)
+	tr := BuildAdaptive(bodies, 8, 12, 12)
+	// Every body in exactly one leaf; NBelow consistent.
+	seen := make([]int, len(bodies))
+	for ci := range tr.Cells {
+		c := &tr.Cells[ci]
+		if c.Leaf {
+			for _, bi := range c.Body {
+				seen[bi]++
+			}
+		} else if len(c.Body) != 0 {
+			t.Fatalf("internal cell %d has bodies", ci)
+		}
+		// Children's NBelow sums to parent's.
+		if !c.Leaf {
+			var sum int32
+			for _, ch := range c.Child {
+				if ch >= 0 {
+					sum += tr.Cells[ch].NBelow
+				}
+			}
+			if sum != c.NBelow {
+				t.Fatalf("cell %d NBelow %d != children sum %d", ci, c.NBelow, sum)
+			}
+		}
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("body %d in %d leaves", i, s)
+		}
+	}
+	if tr.Cells[tr.Root].NBelow != int32(len(bodies)) {
+		t.Fatal("root count wrong")
+	}
+}
+
+func TestAdaptiveDeeperWhereClustered(t *testing.T) {
+	bodies := nbody.Clustered2D(2000, 2, 5)
+	tr := BuildAdaptive(bodies, 8, 8, 14)
+	var maxLvl int32
+	levelsWithCells := map[int32]int{}
+	for ci := range tr.Cells {
+		c := &tr.Cells[ci]
+		if c.Level > maxLvl {
+			maxLvl = c.Level
+		}
+		levelsWithCells[c.Level]++
+	}
+	if maxLvl < 5 {
+		t.Fatalf("clustered tree only %d levels deep", maxLvl)
+	}
+	// Adaptivity: the deepest level must have far fewer cells than a
+	// uniform grid would (4^maxLvl).
+	if levelsWithCells[maxLvl] >= (1<<(2*uint(maxLvl)))/4 {
+		t.Fatalf("deepest level has %d cells — not adaptive", levelsWithCells[maxLvl])
+	}
+}
+
+// TestAdaptiveListCoverage verifies the fundamental CGR invariant: for
+// every ordered body pair (i, j), j's contribution to i is accounted for
+// exactly once across the U, V, W, and X lists.
+func TestAdaptiveListCoverage(t *testing.T) {
+	bodies := nbody.Clustered2D(300, 3, 13)
+	tr := BuildAdaptive(bodies, 6, 8, 12)
+
+	// leafOf and ancestors.
+	leafOf := make([]int32, len(bodies))
+	for ci := range tr.Cells {
+		c := &tr.Cells[ci]
+		if c.Leaf {
+			for _, bi := range c.Body {
+				leafOf[bi] = int32(ci)
+			}
+		}
+	}
+	// bodiesUnder enumerates bodies below a cell.
+	var bodiesUnder func(ci int32, fn func(int32))
+	bodiesUnder = func(ci int32, fn func(int32)) {
+		c := &tr.Cells[ci]
+		for _, bi := range c.Body {
+			fn(bi)
+		}
+		for _, ch := range c.Child {
+			if ch >= 0 {
+				bodiesUnder(ch, fn)
+			}
+		}
+	}
+
+	for i := range bodies {
+		count := make([]int, len(bodies))
+		// Walk from leaf to root collecting V and X of every ancestor.
+		for a := leafOf[i]; a >= 0; a = tr.Cells[a].Parent {
+			for _, v := range tr.Cells[a].V {
+				bodiesUnder(v, func(bj int32) { count[bj]++ })
+			}
+			for _, x := range tr.Cells[a].X {
+				for _, bj := range tr.Cells[x].Body {
+					count[bj]++
+				}
+			}
+		}
+		leaf := &tr.Cells[leafOf[i]]
+		for _, u := range leaf.U {
+			for _, bj := range tr.Cells[u].Body {
+				count[bj]++
+			}
+		}
+		for _, w := range leaf.W {
+			bodiesUnder(w, func(bj int32) { count[bj]++ })
+		}
+		for j := range bodies {
+			want := 1
+			if j == i {
+				want = 1 // self appears once via U (its own leaf); skipped at eval
+			}
+			if count[j] != want {
+				t.Fatalf("body %d: contribution of body %d counted %d times", i, j, count[j])
+			}
+		}
+	}
+}
+
+func TestAdaptiveAccuracy(t *testing.T) {
+	bodies := nbody.Clustered2D(800, 4, 17)
+	tr := BuildAdaptive(bodies, 10, 20, 16)
+	got := tr.SolveAdaptive()
+	want := DirectSolve(bodies)
+	if err := fieldErr(got.Field, want.Field); err > 1e-7 {
+		t.Fatalf("adaptive field error %g", err)
+	}
+	for i := range bodies {
+		if math.Abs(got.Pot[i]-want.Pot[i]) > 1e-5*math.Max(1, math.Abs(want.Pot[i])) {
+			t.Fatalf("potential %d: %g vs %g", i, got.Pot[i], want.Pot[i])
+		}
+	}
+}
+
+func TestAdaptiveUniformAgreesWithUniformSolver(t *testing.T) {
+	bodies := nbody.Uniform2D(500, 19)
+	prm := Params{Terms: 16, Levels: 3, Costs: DefaultCosts()}
+	uni := Solve(bodies, prm, nil)
+	tr := BuildAdaptive(bodies, 4, 16, 12)
+	ada := tr.SolveAdaptive()
+	if err := fieldErr(ada.Field, uni.Field); err > 1e-7 {
+		t.Fatalf("adaptive vs uniform field mismatch %g", err)
+	}
+}
+
+func TestAdaptiveMoreTermsMoreAccurate(t *testing.T) {
+	bodies := nbody.Clustered2D(300, 2, 23)
+	want := DirectSolve(bodies)
+	errFor := func(p int) float64 {
+		tr := BuildAdaptive(bodies, 8, p, 12)
+		return fieldErr(tr.SolveAdaptive().Field, want.Field)
+	}
+	if e12, e4 := errFor(12), errFor(4); e12 >= e4 {
+		t.Fatalf("p=12 (%g) not better than p=4 (%g)", e12, e4)
+	}
+}
+
+func TestAddSourcePoint(t *testing.T) {
+	// P2L: a local expansion built directly from point charges must match
+	// the direct potential near its center.
+	zs := []complex128{complex(2, 1), complex(-3, 0.5), complex(0, 4)}
+	q := []float64{1.0, 2.0, 0.5}
+	loc := NewLocal(complex(0, 0), 24)
+	for i := range zs {
+		loc.AddSourcePoint(zs[i], q[i])
+	}
+	for _, z := range []complex128{complex(0.2, 0.1), complex(-0.3, -0.2)} {
+		want := DirectField(z, zs, q, -1)
+		if err := relErr(loc.EvalDeriv(z), want); err > 1e-10 {
+			t.Fatalf("P2L field err %g at %v", err, z)
+		}
+		wantPot := real(DirectPotential(z, zs, q, -1))
+		if math.Abs(real(loc.Eval(z))-wantPot) > 1e-9*math.Max(1, math.Abs(wantPot)) {
+			t.Fatalf("P2L potential mismatch at %v", z)
+		}
+	}
+}
+
+func TestAdaptiveSingleLeaf(t *testing.T) {
+	bodies := nbody.Uniform2D(5, 29)
+	tr := BuildAdaptive(bodies, 10, 8, 12) // all bodies fit in the root
+	got := tr.SolveAdaptive()
+	want := DirectSolve(bodies)
+	if err := fieldErr(got.Field, want.Field); err > 1e-10 {
+		t.Fatalf("single-leaf error %g", err)
+	}
+}

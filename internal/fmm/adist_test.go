@@ -1,0 +1,79 @@
+package fmm
+
+import (
+	"testing"
+
+	"dpa/internal/driver"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+)
+
+func TestDistributeAdaptiveCoverage(t *testing.T) {
+	bodies := nbody.Clustered2D(500, 3, 31)
+	tr := BuildAdaptive(bodies, 8, 8, 12)
+	d := DistributeAdaptive(tr, 4)
+	// Every cell has an owner with objects; leaves have leaf objects.
+	ownedTotal := 0
+	for n := 0; n < 4; n++ {
+		ownedTotal += len(d.OwnedCells[n])
+	}
+	if ownedTotal != len(tr.Cells) {
+		t.Fatalf("owned cells cover %d of %d", ownedTotal, len(tr.Cells))
+	}
+	for ci := range tr.Cells {
+		if d.MpPtr[ci].IsNil() || d.LocPtr[ci].IsNil() {
+			t.Fatalf("cell %d missing expansion objects", ci)
+		}
+		if tr.Cells[ci].Leaf != !d.LeafPtr[ci].IsNil() {
+			t.Fatalf("cell %d leaf object mismatch", ci)
+		}
+	}
+	// Internal owners must match one of their children (locality).
+	for ci := range tr.Cells {
+		c := &tr.Cells[ci]
+		if c.Leaf {
+			continue
+		}
+		match := false
+		for _, ch := range c.Child {
+			if ch >= 0 && d.Owner[ch] == d.Owner[ci] {
+				match = true
+			}
+		}
+		if !match {
+			t.Fatalf("cell %d owner %d shared with no child", ci, d.Owner[ci])
+		}
+	}
+}
+
+func TestAdaptiveDistributedMatchesSequential(t *testing.T) {
+	bodies := nbody.Clustered2D(400, 3, 37)
+	tr := BuildAdaptive(bodies, 8, 12, 12)
+	want := tr.SolveAdaptive()
+	for _, nodes := range []int{1, 4} {
+		for _, spec := range []driver.Spec{driver.DPASpec(50), driver.CachingSpec(), driver.BlockingSpec()} {
+			_, got := RunAdaptiveStep(machine.DefaultT3D(nodes), spec, bodies, 8, 12, 12)
+			if err := fieldErr(got.Field, want.Field); err > 1e-9 {
+				t.Errorf("%s nodes=%d: field error %g", spec, nodes, err)
+			}
+		}
+	}
+}
+
+func TestAdaptiveDistributedAccuracy(t *testing.T) {
+	bodies := nbody.Clustered2D(600, 4, 41)
+	_, got := RunAdaptiveStep(machine.DefaultT3D(8), driver.DPASpec(50), bodies, 10, 20, 14)
+	want := DirectSolve(bodies)
+	if err := fieldErr(got.Field, want.Field); err > 1e-7 {
+		t.Fatalf("distributed adaptive vs direct: %g", err)
+	}
+}
+
+func TestAdaptiveDistributedAggregates(t *testing.T) {
+	bodies := nbody.Clustered2D(3000, 5, 43)
+	dpaRun, _ := RunAdaptiveStep(machine.DefaultT3D(8), driver.DPASpec(100), bodies, 8, 12, 14)
+	cacheRun, _ := RunAdaptiveStep(machine.DefaultT3D(8), driver.CachingSpec(), bodies, 8, 12, 14)
+	if dpaRun.RT.ReqMsgs >= cacheRun.RT.ReqMsgs {
+		t.Errorf("DPA req msgs %d not fewer than caching %d", dpaRun.RT.ReqMsgs, cacheRun.RT.ReqMsgs)
+	}
+}

@@ -1,0 +1,317 @@
+package fmm
+
+import (
+	"math"
+	"math/cmplx"
+
+	"dpa/internal/driver"
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// MpObj is a cell's multipole expansion as a global object. With the
+// paper's 29 terms it is ~490 bytes — the large-object payload that makes
+// request aggregation pay.
+type MpObj struct {
+	M *Multipole
+}
+
+// ByteSize models center + Q + coefficients.
+func (o *MpObj) ByteSize() int { return 24 + 16*len(o.M.A) }
+
+// LocObj is a cell's local expansion as a global object (fetched by the
+// cell's children during the downward pass).
+type LocObj struct {
+	L *Local
+}
+
+// ByteSize models center + coefficients.
+func (o *LocObj) ByteSize() int { return 16 + 16*len(o.L.B) }
+
+// LeafObj carries a leaf cell's bodies inline (positions and charges), the
+// near-field P2P payload.
+type LeafObj struct {
+	Cell int32
+	Idx  []int32
+	Z    []complex128
+	Q    []float64
+}
+
+// ByteSize models the inline body array.
+func (o *LeafObj) ByteSize() int { return 16 + 28*len(o.Idx) }
+
+// cellRef names one cell of the quadtree.
+type cellRef struct {
+	L int32
+	C int32
+}
+
+// Dist is the distributed form of one FMM step: all expansions and leaf
+// payloads placed in the global space, cells and bodies partitioned into
+// Morton-contiguous zones weighted by body count.
+type Dist struct {
+	G      Grid
+	Prm    Params
+	Bodies []nbody.Body
+	Space  *gptr.Space
+
+	LeafBody [][]int32
+	Below    [][]int32
+	Owner    [][]int32 // [level][cell]
+
+	MpPtr   [][]gptr.Ptr
+	LocPtr  [][]gptr.Ptr
+	LeafPtr []gptr.Ptr
+
+	mp  [][]*Multipole
+	loc [][]*Local
+
+	// Per node: owned leaf cells, and owned non-empty cells per level.
+	OwnedLeaves [][]int32
+	OwnedCells  [][][]int32 // [node][level] -> cells
+	// Per node: the M2L/P2P work list (all levels concatenated), the
+	// top-level concurrent loop of the interaction phase.
+	WorkList [][]cellRef
+}
+
+// Distribute prepares one step for the given node count.
+func Distribute(bodies []nbody.Body, prm Params, nodes int) *Dist {
+	g := Grid{L: prm.Levels}
+	d := &Dist{G: g, Prm: prm, Bodies: bodies, Space: gptr.NewSpace(nodes)}
+
+	d.LeafBody = make([][]int32, g.CellsAt(g.L))
+	for i := range bodies {
+		c := g.LeafOf(bodies[i].Pos[0], bodies[i].Pos[1])
+		d.LeafBody[c] = append(d.LeafBody[c], int32(i))
+	}
+	d.Below = countBelow(g, d.LeafBody)
+
+	// Leaf ownership: contiguous Morton zones with balanced body counts.
+	nLeaves := g.CellsAt(g.L)
+	leafOwner := make([]int32, nLeaves)
+	total := float64(len(bodies)) + float64(nLeaves)
+	perNode := total / float64(nodes)
+	acc := 0.0
+	node := 0
+	for c := 0; c < nLeaves; c++ {
+		w := 1.0 + float64(len(d.LeafBody[c]))
+		if acc+w > perNode*float64(node+1) && node < nodes-1 {
+			node++
+		}
+		leafOwner[c] = int32(node)
+		acc += w
+	}
+	// Internal cells: owner of the first descendant leaf.
+	d.Owner = make([][]int32, g.L+1)
+	d.Owner[g.L] = leafOwner
+	for l := g.L - 1; l >= 2; l-- {
+		d.Owner[l] = make([]int32, g.CellsAt(l))
+		for c := range d.Owner[l] {
+			d.Owner[l][c] = leafOwner[c<<(2*(g.L-l))]
+		}
+	}
+
+	// Allocate global objects: every non-empty cell's multipole and local
+	// expansion in its owner's heap, leaf bodies inline.
+	d.mp = make([][]*Multipole, g.L+1)
+	d.loc = make([][]*Local, g.L+1)
+	d.MpPtr = make([][]gptr.Ptr, g.L+1)
+	d.LocPtr = make([][]gptr.Ptr, g.L+1)
+	for l := 2; l <= g.L; l++ {
+		n := g.CellsAt(l)
+		d.mp[l] = make([]*Multipole, n)
+		d.loc[l] = make([]*Local, n)
+		d.MpPtr[l] = make([]gptr.Ptr, n)
+		d.LocPtr[l] = make([]gptr.Ptr, n)
+		for c := 0; c < n; c++ {
+			d.MpPtr[l][c] = gptr.Nil
+			d.LocPtr[l][c] = gptr.Nil
+			if d.Below[l][c] == 0 {
+				continue
+			}
+			d.mp[l][c] = NewMultipole(g.Center(l, c), prm.Terms)
+			d.loc[l][c] = NewLocal(g.Center(l, c), prm.Terms)
+			owner := int(d.Owner[l][c])
+			d.MpPtr[l][c] = d.Space.Alloc(owner, &MpObj{M: d.mp[l][c]})
+			d.LocPtr[l][c] = d.Space.Alloc(owner, &LocObj{L: d.loc[l][c]})
+		}
+	}
+	d.LeafPtr = make([]gptr.Ptr, nLeaves)
+	for c := 0; c < nLeaves; c++ {
+		d.LeafPtr[c] = gptr.Nil
+		bs := d.LeafBody[c]
+		if len(bs) == 0 {
+			continue
+		}
+		lo := &LeafObj{Cell: int32(c)}
+		for _, bi := range bs {
+			lo.Idx = append(lo.Idx, bi)
+			lo.Z = append(lo.Z, Z(&bodies[bi]))
+			lo.Q = append(lo.Q, bodies[bi].Mass)
+		}
+		d.LeafPtr[c] = d.Space.Alloc(int(leafOwner[c]), lo)
+	}
+
+	// Per-node work lists.
+	d.OwnedLeaves = make([][]int32, nodes)
+	d.OwnedCells = make([][][]int32, nodes)
+	d.WorkList = make([][]cellRef, nodes)
+	for n := 0; n < nodes; n++ {
+		d.OwnedCells[n] = make([][]int32, g.L+1)
+	}
+	for l := 2; l <= g.L; l++ {
+		for c := 0; c < g.CellsAt(l); c++ {
+			if d.Below[l][c] == 0 {
+				continue
+			}
+			n := int(d.Owner[l][c])
+			d.OwnedCells[n][l] = append(d.OwnedCells[n][l], int32(c))
+			d.WorkList[n] = append(d.WorkList[n], cellRef{L: int32(l), C: int32(c)})
+		}
+	}
+	for c := 0; c < nLeaves; c++ {
+		if len(d.LeafBody[c]) > 0 {
+			d.OwnedLeaves[leafOwner[c]] = append(d.OwnedLeaves[leafOwner[c]], int32(c))
+		}
+	}
+	return d
+}
+
+// Phase runs the full FMM step on one node under the given runtime:
+// P2M, upward M2M (level-by-level barriers), the interaction phase
+// (M2L + near-field P2P — the paper's "force communication phase",
+// strip-mined under DPA), downward L2L, and final L2P. Per-body outputs go
+// into field and pot (each node writes only its own bodies).
+func Phase(rt driver.Runtime, ep *fm.EP, nd *machine.Node, d *Dist,
+	field []complex128, pot []float64) {
+
+	me := nd.ID()
+	g := d.G
+	cm := d.Prm.Costs
+	p := d.Prm.Terms
+	pTime := sim.Time(p)
+	pSq := pTime * pTime
+
+	// 1. P2M on owned leaves (pure local work).
+	for _, c := range d.OwnedLeaves[me] {
+		m := d.mp[g.L][c]
+		nd.Touch(d.LeafPtr[c].Key())
+		for _, bi := range d.LeafBody[c] {
+			m.AddSource(Z(&d.Bodies[bi]), d.Bodies[bi].Mass)
+			nd.Charge(sim.Compute, cm.P2MTerm*pTime)
+		}
+	}
+	ep.Barrier()
+
+	// 2. Upward M2M: each level reads the (finalized) level below.
+	for l := g.L - 1; l >= 2; l-- {
+		cells := d.OwnedCells[me][l]
+		rt.ForAll(len(cells), func(k int) {
+			c := cells[k]
+			tgt := d.mp[l][c]
+			for j := 0; j < 4; j++ {
+				child := ChildBase(int(c)) + j
+				if d.Below[l+1][child] == 0 {
+					continue
+				}
+				rt.Spawn(d.MpPtr[l+1][child], func(o gptr.Object) {
+					nd.Charge(sim.Compute, cm.TransTerm*pSq)
+					tgt.Shift(o.(*MpObj).M)
+				})
+			}
+		})
+		ep.Barrier()
+	}
+
+	// 3. Interaction phase: M2L over the interaction lists plus P2P over
+	// neighbor leaves. One strip-mined top-level loop over owned cells.
+	work := d.WorkList[me]
+	var ibuf, nbuf []int
+	rt.ForAll(len(work), func(k int) {
+		ref := work[k]
+		l, c := int(ref.L), int(ref.C)
+		tgt := d.loc[l][c]
+		ibuf = g.InteractionList(l, c, ibuf[:0])
+		for _, q := range ibuf {
+			if d.Below[l][q] == 0 {
+				continue
+			}
+			rt.Spawn(d.MpPtr[l][q], func(o gptr.Object) {
+				nd.Charge(sim.Compute, cm.TransTerm*pSq)
+				tgt.AddMultipole(o.(*MpObj).M)
+			})
+		}
+		if l != g.L {
+			return
+		}
+		// Near field at leaves: direct interactions with neighbor bodies.
+		targets := d.LeafBody[c]
+		nbuf = g.Neighbors(g.L, c, nbuf[:0])
+		nbuf = append(nbuf, c)
+		for _, q := range nbuf {
+			if len(d.LeafBody[q]) == 0 {
+				continue
+			}
+			rt.Spawn(d.LeafPtr[q], func(o gptr.Object) {
+				src := o.(*LeafObj)
+				for _, bi := range targets {
+					z := Z(&d.Bodies[bi])
+					for j := range src.Idx {
+						if src.Idx[j] == bi {
+							continue
+						}
+						nd.Charge(sim.Compute, cm.P2PPair)
+						field[bi] += complex(src.Q[j], 0) / (z - src.Z[j])
+						pot[bi] += src.Q[j] * math.Log(cmplx.Abs(z-src.Z[j]))
+					}
+				}
+			})
+		}
+	})
+	ep.Barrier()
+
+	// 4. Downward L2L: each level reads the finalized level above.
+	for l := 3; l <= g.L; l++ {
+		cells := d.OwnedCells[me][l]
+		rt.ForAll(len(cells), func(k int) {
+			c := int(cells[k])
+			parent := Parent(c)
+			if d.Below[l-1][parent] == 0 {
+				return
+			}
+			tgt := d.loc[l][c]
+			rt.Spawn(d.LocPtr[l-1][parent], func(o gptr.Object) {
+				nd.Charge(sim.Compute, cm.TransTerm*pSq)
+				tgt.ShiftFrom(o.(*LocObj).L)
+			})
+		})
+		ep.Barrier()
+	}
+
+	// 5. L2P on owned leaves (pure local work).
+	for _, c := range d.OwnedLeaves[me] {
+		loc := d.loc[g.L][c]
+		for _, bi := range d.LeafBody[c] {
+			z := Z(&d.Bodies[bi])
+			field[bi] += loc.EvalDeriv(z)
+			pot[bi] += real(loc.Eval(z))
+			nd.Charge(sim.Compute, cm.L2PTerm*pTime)
+		}
+	}
+}
+
+// RunStep simulates one FMM step on the given machine under spec and
+// returns the merged run statistics and the per-body result.
+func RunStep(mcfg machine.Config, spec driver.Spec, bodies []nbody.Body, prm Params) (stats.Run, *Result) {
+	d := Distribute(bodies, prm, mcfg.Nodes)
+	field := make([]complex128, len(bodies))
+	pot := make([]float64, len(bodies))
+	run := driver.RunPhase(mcfg, d.Space, spec, func(rt driver.Runtime, ep *fm.EP, nd *machine.Node) {
+		Phase(rt, ep, nd, d, field, pot)
+	})
+	return run, &Result{Field: field, Pot: pot}
+}

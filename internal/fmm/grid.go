@@ -1,0 +1,139 @@
+package fmm
+
+// The uniform quadtree over the unit square. Cells are identified by
+// (level, index) where index is the 2D Morton (Z-order) interleave of the
+// cell's integer grid coordinates. Morton indexing makes the hierarchy
+// arithmetic: parent(c) = c>>2, children(c) = 4c..4c+3, and contiguous
+// Morton ranges are spatially compact — which is exactly what the costzone
+// partitioner wants.
+
+// Grid describes a uniform quadtree of the unit square.
+type Grid struct {
+	// L is the leaf level; level l has 4^l cells (levels 0..L).
+	L int
+}
+
+// CellsAt returns the number of cells at level l.
+func (g Grid) CellsAt(l int) int { return 1 << (2 * l) }
+
+// side returns the number of cells per axis at level l.
+func side(l int) int { return 1 << l }
+
+// interleave2 builds the Morton index from grid coordinates.
+func interleave2(ix, iy int) int {
+	return int(spreadBits(uint32(ix)) | spreadBits(uint32(iy))<<1)
+}
+
+// deinterleave2 recovers grid coordinates from the Morton index.
+func deinterleave2(c int) (ix, iy int) {
+	return int(compactBits(uint32(c))), int(compactBits(uint32(c) >> 1))
+}
+
+func spreadBits(x uint32) uint32 {
+	x &= 0xffff
+	x = (x | x<<8) & 0x00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f
+	x = (x | x<<2) & 0x33333333
+	x = (x | x<<1) & 0x55555555
+	return x
+}
+
+func compactBits(x uint32) uint32 {
+	x &= 0x55555555
+	x = (x | x>>1) & 0x33333333
+	x = (x | x>>2) & 0x0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff
+	x = (x | x>>8) & 0x0000ffff
+	return x
+}
+
+// Center returns the center of cell (l, c) in the unit square.
+func (g Grid) Center(l, c int) complex128 {
+	ix, iy := deinterleave2(c)
+	w := 1.0 / float64(side(l))
+	return complex((float64(ix)+0.5)*w, (float64(iy)+0.5)*w)
+}
+
+// CellSize returns the side length of level-l cells.
+func (g Grid) CellSize(l int) float64 { return 1.0 / float64(side(l)) }
+
+// Parent returns the Morton index of the parent cell.
+func Parent(c int) int { return c >> 2 }
+
+// ChildBase returns the Morton index of the first of the four children.
+func ChildBase(c int) int { return c << 2 }
+
+// LeafOf returns the Morton index of the leaf cell containing position
+// (x, y), clamped into the unit square.
+func (g Grid) LeafOf(x, y float64) int {
+	n := side(g.L)
+	ix := int(x * float64(n))
+	iy := int(y * float64(n))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= n {
+		ix = n - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= n {
+		iy = n - 1
+	}
+	return interleave2(ix, iy)
+}
+
+// Neighbors appends to dst the Morton indices of the up-to-8 adjacent cells
+// of (l, c) (no wraparound at the domain boundary) and returns dst.
+func (g Grid) Neighbors(l, c int, dst []int) []int {
+	ix, iy := deinterleave2(c)
+	n := side(l)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			jx, jy := ix+dx, iy+dy
+			if jx < 0 || jx >= n || jy < 0 || jy >= n {
+				continue
+			}
+			dst = append(dst, interleave2(jx, jy))
+		}
+	}
+	return dst
+}
+
+// InteractionList appends to dst the Morton indices of cell (l, c)'s
+// well-separated interaction list: children of the parent's neighbors
+// (and of the parent itself) that are not adjacent to c. Defined for
+// l >= 2 (shallower levels have no well-separated cells). Returns dst.
+func (g Grid) InteractionList(l, c int, dst []int) []int {
+	ix, iy := deinterleave2(c)
+	n := side(l)
+	px, py := ix>>1, iy>>1
+	pn := side(l - 1)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			qx, qy := px+dx, py+dy
+			if qx < 0 || qx >= pn || qy < 0 || qy >= pn {
+				continue
+			}
+			// The four children of parent-neighbor (qx, qy).
+			for cy := 0; cy < 2; cy++ {
+				for cx := 0; cx < 2; cx++ {
+					jx, jy := qx*2+cx, qy*2+cy
+					if jx < 0 || jx >= n || jy < 0 || jy >= n {
+						continue
+					}
+					adx, ady := jx-ix, jy-iy
+					if adx >= -1 && adx <= 1 && ady >= -1 && ady <= 1 {
+						continue // adjacent or self: near field
+					}
+					dst = append(dst, interleave2(jx, jy))
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,179 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(x, y uint16) bool {
+		ix, iy := int(x)&0xfff, int(y)&0xfff
+		jx, jy := deinterleave2(interleave2(ix, iy))
+		return jx == ix && jy == iy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentChildConsistent(t *testing.T) {
+	f := func(raw uint16) bool {
+		c := int(raw) & 0x3fff
+		base := ChildBase(c)
+		for k := 0; k < 4; k++ {
+			if Parent(base+k) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChildrenAreSpatialQuadrants(t *testing.T) {
+	g := Grid{L: 4}
+	for _, c := range []int{0, 5, 12} {
+		pc := g.Center(2, c)
+		half := g.CellSize(2) / 2
+		for k := 0; k < 4; k++ {
+			cc := g.Center(3, ChildBase(c)+k)
+			if math.Abs(real(cc-pc)) > half || math.Abs(imag(cc-pc)) > half {
+				t.Errorf("child %d of cell %d at %v not inside parent at %v", k, c, cc, pc)
+			}
+		}
+	}
+}
+
+func TestLeafOfContainsPoint(t *testing.T) {
+	g := Grid{L: 5}
+	f := func(rx, ry uint16) bool {
+		x := float64(rx) / 65536
+		y := float64(ry) / 65536
+		c := g.LeafOf(x, y)
+		ctr := g.Center(g.L, c)
+		h := g.CellSize(g.L) / 2
+		return math.Abs(x-real(ctr)) <= h+1e-12 && math.Abs(y-imag(ctr)) <= h+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafOfClamps(t *testing.T) {
+	g := Grid{L: 3}
+	if c := g.LeafOf(-1, 0.5); c != g.LeafOf(0, 0.5) {
+		t.Error("x clamp failed")
+	}
+	if c := g.LeafOf(0.5, 2); c != g.LeafOf(0.5, 0.999999) {
+		t.Error("y clamp failed")
+	}
+}
+
+func TestNeighborsCounts(t *testing.T) {
+	g := Grid{L: 3}
+	// Corner cell has 3 neighbors, edge 5, interior 8.
+	corner := interleave2(0, 0)
+	if n := len(g.Neighbors(3, corner, nil)); n != 3 {
+		t.Errorf("corner neighbors = %d", n)
+	}
+	edge := interleave2(3, 0)
+	if n := len(g.Neighbors(3, edge, nil)); n != 5 {
+		t.Errorf("edge neighbors = %d", n)
+	}
+	interior := interleave2(3, 3)
+	if n := len(g.Neighbors(3, interior, nil)); n != 8 {
+		t.Errorf("interior neighbors = %d", n)
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	g := Grid{L: 4}
+	l := 4
+	n := g.CellsAt(l)
+	for c := 0; c < n; c++ {
+		for _, q := range g.Neighbors(l, c, nil) {
+			found := false
+			for _, r := range g.Neighbors(l, q, nil) {
+				if r == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation asymmetric: %d -> %d", c, q)
+			}
+		}
+	}
+}
+
+func TestInteractionListWellSeparated(t *testing.T) {
+	g := Grid{L: 4}
+	for l := 2; l <= 4; l++ {
+		w := g.CellSize(l)
+		for c := 0; c < g.CellsAt(l); c++ {
+			cc := g.Center(l, c)
+			for _, q := range g.InteractionList(l, c, nil) {
+				qc := g.Center(l, q)
+				dx := math.Abs(real(qc - cc))
+				dy := math.Abs(imag(qc - cc))
+				// Well separated: at least one full cell between them.
+				if dx < 2*w-1e-12 && dy < 2*w-1e-12 {
+					t.Fatalf("level %d: list cell %d (at %v) too close to %d (at %v)",
+						l, q, qc, c, cc)
+				}
+			}
+		}
+	}
+}
+
+func TestInteractionListMaxSize(t *testing.T) {
+	g := Grid{L: 5}
+	max := 0
+	for c := 0; c < g.CellsAt(3); c++ {
+		if n := len(g.InteractionList(3, c, nil)); n > max {
+			max = n
+		}
+	}
+	if max != 27 {
+		t.Errorf("max interaction list size = %d, want 27", max)
+	}
+}
+
+func TestInteractionPlusNearCoversParentNeighborhood(t *testing.T) {
+	// For any interior cell, its interaction list plus its 8 neighbors plus
+	// itself must exactly cover the children of the parent's 3x3
+	// neighborhood.
+	g := Grid{L: 4}
+	l := 3
+	c := interleave2(4, 4)
+	cover := map[int]bool{c: true}
+	for _, q := range g.Neighbors(l, c, nil) {
+		cover[q] = true
+	}
+	for _, q := range g.InteractionList(l, c, nil) {
+		if cover[q] {
+			t.Fatalf("cell %d in both near and far sets", q)
+		}
+		cover[q] = true
+	}
+	px, py := 2, 2
+	count := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			for cy := 0; cy < 2; cy++ {
+				for cx := 0; cx < 2; cx++ {
+					q := interleave2((px+dx)*2+cx, (py+dy)*2+cy)
+					if !cover[q] {
+						t.Fatalf("cell %d not covered", q)
+					}
+					count++
+				}
+			}
+		}
+	}
+	if count != len(cover) {
+		t.Fatalf("cover has %d extra cells", len(cover)-count)
+	}
+}

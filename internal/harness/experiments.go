@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"fmt"
+
+	"dpa/internal/core"
+	"dpa/internal/driver"
+	"dpa/internal/stats"
+)
+
+// Paper-reported values (CRAY T3D, 150 MHz), from the evaluation fragments
+// embedded in the text. -1 marks values not present in the available text.
+var (
+	paperBHProcs   = []int{1, 2, 4, 8, 16, 32, 64}
+	paperBHDPA     = []float64{118.02, 61.23, 33.05, 17.15, 8.59, 4.48, 2.63}
+	paperBHCaching = []float64{115.15, 65.77, 38.02, 20.21, 10.46, 5.41, 2.90}
+	paperBHSeq     = 97.84
+
+	paperFMMProcs = []int{2, 4, 8, 16, 32, 64}
+	paperFMMDPA   = []float64{7.39, 3.80, 1.91, -1, -1, -1}
+	paperFMMSeq   = 14.46
+	// The paper claims a 54-fold speedup on 64 nodes => ~0.27 s.
+	paperFMMSpeedup64 = 54.0
+)
+
+// dpaVariant builds a DPA spec with explicit optimization toggles.
+func dpaVariant(strip int, pipeline, aggregate bool, pollEvery int) driver.Spec {
+	c := core.Default()
+	c.Strip = strip
+	c.Pipeline = pipeline
+	if !aggregate {
+		c.AggLimit = 1
+	}
+	if pollEvery > 0 {
+		c.PollEvery = pollEvery
+	}
+	return driver.Spec{Kind: driver.DPA, Core: c}
+}
+
+func fmtPaper(v float64) string {
+	if v < 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func init() {
+	register(Experiment{ID: "T1", Title: "Application characteristics and sequential times", Run: runT1})
+	register(Experiment{ID: "T2", Title: "Barnes-Hut: DPA (50) vs Caching, absolute time", Run: runT2})
+	register(Experiment{ID: "T3", Title: "FMM: DPA (50) vs Caching, absolute time", Run: runT3})
+	register(Experiment{ID: "T4", Title: "Strip size vs outstanding threads and memory", Run: runT4})
+	register(Experiment{ID: "F1", Title: "Barnes-Hut execution time breakdown (P=16)", Run: runF1})
+	register(Experiment{ID: "F2", Title: "FMM execution time breakdown, strip 300 (P=16)", Run: runF2})
+	register(Experiment{ID: "F3", Title: "Speedups: DPA vs Caching vs Blocking", Run: runF3})
+	register(Experiment{ID: "F4", Title: "Strip size sensitivity", Run: runF4})
+	register(Experiment{ID: "F5", Title: "Message aggregation ablation", Run: runF5})
+	register(Experiment{ID: "F6", Title: "Poll placement sensitivity", Run: runF6})
+}
+
+func runT1(s *Session) {
+	bhr := s.BHSeq()
+	fr := s.FMMSeq()
+	s.printf("%-12s %10s %8s %8s %16s %14s\n",
+		"app", "bodies", "steps", "terms", "seq time (sim)", "paper")
+	s.printf("%-12s %10d %8d %8s %15.2fs %13.2fs\n",
+		"Barnes-Hut", s.W.BHBodies, s.W.BHSteps, "-", s.Sec(bhr), paperBHSeq)
+	s.printf("%-12s %10d %8d %8d %15.2fs %13.2fs\n",
+		"FMM", s.W.FMMBodies, 1, s.W.FMMTerms, s.Sec(fr), paperFMMSeq)
+	if s.W.Name != "full" {
+		s.printf("(paper columns correspond to the full workload: 16,384/4-step BH, 32,768/29-term FMM)\n")
+	}
+}
+
+func runT2(s *Session) {
+	procs := s.W.procSweep(1)
+	s.printf("%-10s", "version")
+	for _, p := range procs {
+		s.printf("%9d", p)
+	}
+	s.printf("\n%-10s", "DPA (50)")
+	for _, p := range procs {
+		s.printf("%8.2fs", s.Sec(s.BH(p, driver.DPASpec(50))))
+	}
+	s.printf("\n%-10s", "Caching")
+	for _, p := range procs {
+		s.printf("%8.2fs", s.Sec(s.BH(p, driver.CachingSpec())))
+	}
+	s.printf("\n-- paper --\n%-10s", "DPA (50)")
+	for i := range paperBHProcs {
+		s.printf("%9s", fmtPaper(paperBHDPA[i]))
+	}
+	s.printf("\n%-10s", "Caching")
+	for i := range paperBHProcs {
+		s.printf("%9s", fmtPaper(paperBHCaching[i]))
+	}
+	s.printf("\n")
+}
+
+func runT3(s *Session) {
+	procs := s.W.procSweep(2)
+	s.printf("%-10s", "version")
+	for _, p := range procs {
+		s.printf("%9d", p)
+	}
+	s.printf("\n%-10s", "DPA (50)")
+	for _, p := range procs {
+		s.printf("%8.2fs", s.Sec(s.FMM(p, driver.DPASpec(50))))
+	}
+	s.printf("\n%-10s", "Caching")
+	for _, p := range procs {
+		s.printf("%8.2fs", s.Sec(s.FMM(p, driver.CachingSpec())))
+	}
+	s.printf("\n-- paper --\n%-10s", "DPA (50)")
+	for i := range paperFMMProcs {
+		s.printf("%9s", fmtPaper(paperFMMDPA[i]))
+	}
+	s.printf("\n(paper reports a %.0f-fold FMM speedup on 64 nodes => ~%.2fs; caching row not in the available text)\n",
+		paperFMMSpeedup64, paperFMMSeq/paperFMMSpeedup64)
+}
+
+func runT4(s *Session) {
+	s.printf("Barnes-Hut on 16 nodes; static strip size vs peak outstanding threads\nand peak renamed-copy memory (the k-bounded-loop trade-off):\n\n")
+	s.printf("%8s %12s %14s %12s %10s\n", "strip", "max outst.", "renamed KB", "fetches", "time")
+	for _, strip := range []int{10, 50, 100, 300, 1000} {
+		r := s.BH(16, driver.DPASpec(strip))
+		s.printf("%8d %12d %13.1fK %12d %9.2fs\n",
+			strip, r.RT.PeakOutstanding, float64(r.RT.PeakArrivedBytes)/1024,
+			r.RT.Fetches, s.Sec(r))
+	}
+}
+
+// breakdownBar renders one figure bar: stacked local/comm/idle plus the
+// speedup over the sequential baseline.
+func (s *Session) breakdownBar(name string, r stats.Run, seq stats.Run) {
+	local, comm, idle := r.AvgPerNode()
+	speedup := float64(seq.Makespan) / float64(r.Makespan)
+	clk := s.Clock()
+	s.printf("%-22s %7.2fs  %5.1fx  |%s|\n", name, s.Sec(r), speedup, r.BarChart(46))
+	s.printf("%-22s local=%.2fs comm=%.2fs idle=%.2fs\n", "",
+		clk.Seconds(local), clk.Seconds(comm), clk.Seconds(idle))
+}
+
+func breakdownConfigs(strip int) []struct {
+	name string
+	spec driver.Spec
+} {
+	return []struct {
+		name string
+		spec driver.Spec
+	}{
+		{"Blocking", driver.BlockingSpec()},
+		{"DPA base (no opts)", dpaVariant(strip, false, false, 0)},
+		{"DPA +pipelining", dpaVariant(strip, true, false, 0)},
+		{"DPA +aggregation", dpaVariant(strip, true, true, 0)},
+		{"Caching", driver.CachingSpec()},
+	}
+}
+
+func runF1(s *Session) {
+	s.printf("Bars: '#' local computation, '+' communication overhead, '.' idle.\nSpeedup over the sequential baseline shown per bar.\n\n")
+	seq := s.BHSeq()
+	for _, cfg := range breakdownConfigs(50) {
+		s.breakdownBar(cfg.name, s.BH(16, cfg.spec), seq)
+	}
+}
+
+func runF2(s *Session) {
+	s.printf("FMM with DPA strip size 300 on 16 nodes (paper figure configuration).\n\n")
+	seq := s.FMMSeq()
+	for _, cfg := range breakdownConfigs(300) {
+		s.breakdownBar(cfg.name, s.FMM(16, cfg.spec), seq)
+	}
+}
+
+func runF3(s *Session) {
+	specs := []driver.Spec{driver.DPASpec(50), driver.CachingSpec(), driver.BlockingSpec()}
+	for _, app := range []string{"Barnes-Hut", "FMM"} {
+		s.printf("%s speedup over sequential:\n", app)
+		var seq stats.Run
+		var run func(int, driver.Spec) stats.Run
+		var procs []int
+		if app == "Barnes-Hut" {
+			seq, run, procs = s.BHSeq(), s.BH, s.W.procSweep(1)
+		} else {
+			seq, run, procs = s.FMMSeq(), s.FMM, s.W.procSweep(2)
+		}
+		s.printf("%-10s", "P")
+		for _, p := range procs {
+			s.printf("%8d", p)
+		}
+		s.printf("\n")
+		for _, spec := range specs {
+			s.printf("%-10s", spec.String())
+			for _, p := range procs {
+				r := run(p, spec)
+				s.printf("%7.1fx", float64(seq.Makespan)/float64(r.Makespan))
+			}
+			s.printf("\n")
+		}
+		s.printf("\n")
+	}
+	s.printf("(paper: BH speedup > 42 on 64 nodes; FMM 54-fold on 64 nodes)\n")
+}
+
+func runF4(s *Session) {
+	strips := []int{5, 10, 25, 50, 100, 300, 1000}
+	s.printf("%8s %14s %14s\n", "strip", "BH (P=16)", "FMM (P=16)")
+	for _, strip := range strips {
+		b := s.BH(16, driver.DPASpec(strip))
+		f := s.FMM(16, driver.DPASpec(strip))
+		s.printf("%8d %13.2fs %13.2fs\n", strip, s.Sec(b), s.Sec(f))
+	}
+}
+
+func runF5(s *Session) {
+	s.printf("DPA (strip 50, P=16) with varying aggregation limits.\nobjs/msg is the achieved aggregation factor.\n\n")
+	for _, app := range []string{"Barnes-Hut", "FMM"} {
+		run := s.BH
+		if app == "FMM" {
+			run = s.FMM
+		}
+		s.printf("%s:\n%10s %12s %12s %10s %10s\n", app, "agg limit", "req msgs", "objs/msg", "MB sent", "time")
+		for _, lim := range []int{1, 4, 16, 64, 0} {
+			spec := dpaVariant(50, true, true, 0)
+			spec.Core.AggLimit = lim
+			r := run(16, spec)
+			label := fmt.Sprintf("%d", lim)
+			if lim == 0 {
+				label = "unlimited"
+			}
+			factor := 0.0
+			if r.RT.ReqMsgs > 0 {
+				factor = float64(r.RT.Fetches) / float64(r.RT.ReqMsgs)
+			}
+			s.printf("%10s %12d %12.1f %9.1fM %9.2fs\n",
+				label, r.RT.ReqMsgs, factor, float64(r.BytesSent())/1e6, s.Sec(r))
+		}
+		s.printf("\n")
+	}
+}
+
+func runF6(s *Session) {
+	s.printf("Scheduler poll placement (thread executions between polls), P=16.\n")
+	s.printf("The paper notes its comparator needed manual poll-placement tuning.\n\n")
+	s.printf("%10s %14s %14s\n", "poll every", "BH DPA(50)", "FMM DPA(50)")
+	for _, pe := range []int{1, 2, 8, 32, 128} {
+		b := s.BH(16, dpaVariant(50, true, true, pe))
+		f := s.FMM(16, dpaVariant(50, true, true, pe))
+		s.printf("%10d %13.2fs %13.2fs\n", pe, s.Sec(b), s.Sec(f))
+	}
+}

@@ -1,0 +1,189 @@
+// Package harness defines the paper's experiments: one registered entry per
+// table and figure of the evaluation section (as reconstructed in
+// DESIGN.md), each of which runs the necessary simulations and renders the
+// same rows/series the paper reports. The cmd/paper binary runs them all;
+// bench_test.go exposes one benchmark per experiment.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dpa/internal/bh"
+	"dpa/internal/driver"
+	"dpa/internal/fmm"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+	"dpa/internal/stats"
+)
+
+// Workload sets the problem sizes. Full matches the paper; Scaled is a
+// CI-friendly reduction with the same shape.
+type Workload struct {
+	Name      string
+	BHBodies  int
+	BHSteps   int
+	FMMBodies int
+	FMMTerms  int
+	// EM3DNodes is the per-kind node count for the EM3D extension
+	// experiments.
+	EM3DNodes int
+	Seed      int64
+	// MaxNodes caps processor sweeps (64 reproduces the paper's T3D).
+	MaxNodes int
+}
+
+// Full returns the paper's workload: Barnes-Hut with 16,384 bodies for 4
+// steps; FMM with 32,768 bodies and 29 terms for 1 step; 64 nodes.
+func Full() Workload {
+	return Workload{Name: "full", BHBodies: 16384, BHSteps: 4,
+		FMMBodies: 32768, FMMTerms: 29, EM3DNodes: 16384, Seed: 42, MaxNodes: 64}
+}
+
+// Scaled returns a reduced workload with the same qualitative behaviour.
+func Scaled() Workload {
+	return Workload{Name: "scaled", BHBodies: 4096, BHSteps: 1,
+		FMMBodies: 8192, FMMTerms: 29, EM3DNodes: 4096, Seed: 42, MaxNodes: 64}
+}
+
+// procSweep returns the paper's processor counts up to the cap.
+func (w Workload) procSweep(from int) []int {
+	var ps []int
+	for p := from; p <= w.MaxNodes; p *= 2 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// Session runs experiments with memoized simulation results, so that
+// experiments sharing a configuration (e.g. the T2 table and the F3 speedup
+// curves) pay for it once.
+type Session struct {
+	W   Workload
+	Out io.Writer
+
+	bhBodies  []nbody.Body
+	fmmBodies []nbody.Body
+	bhPar     bh.Params
+	fmmPar    fmm.Params
+
+	bhMemo  map[string]stats.Run
+	fmmMemo map[string]stats.Run
+	bhSeq   *stats.Run
+	fmmSeq  *stats.Run
+}
+
+// NewSession prepares workload data for the given sizes.
+func NewSession(w Workload, out io.Writer) *Session {
+	fp := fmm.DefaultParams(w.FMMBodies)
+	fp.Terms = w.FMMTerms
+	return &Session{
+		W:         w,
+		Out:       out,
+		bhBodies:  nbody.Plummer(w.BHBodies, w.Seed),
+		fmmBodies: nbody.Uniform2D(w.FMMBodies, w.Seed),
+		bhPar:     bh.DefaultParams(),
+		fmmPar:    fp,
+		bhMemo:    map[string]stats.Run{},
+		fmmMemo:   map[string]stats.Run{},
+	}
+}
+
+// Clock returns cycles→seconds conversion under the default machine.
+func (s *Session) Clock() machine.Config { return machine.DefaultT3D(1) }
+
+// Sec converts a makespan to seconds.
+func (s *Session) Sec(r stats.Run) float64 { return s.Clock().Seconds(r.Makespan) }
+
+// BH runs (or recalls) the Barnes-Hut force phases under spec on n nodes.
+func (s *Session) BH(n int, spec driver.Spec) stats.Run {
+	key := fmt.Sprintf("%d/%s/%+v", n, spec, specKnobs(spec))
+	if r, ok := s.bhMemo[key]; ok {
+		return r
+	}
+	r := bh.RunSteps(machine.DefaultT3D(n), spec, s.bhBodies, s.W.BHSteps, s.bhPar)
+	s.bhMemo[key] = r
+	return r
+}
+
+// FMM runs (or recalls) the FMM step under spec on n nodes.
+func (s *Session) FMM(n int, spec driver.Spec) stats.Run {
+	key := fmt.Sprintf("%d/%s/%+v", n, spec, specKnobs(spec))
+	if r, ok := s.fmmMemo[key]; ok {
+		return r
+	}
+	r, _ := fmm.RunStep(machine.DefaultT3D(n), spec, s.fmmBodies, s.fmmPar)
+	s.fmmMemo[key] = r
+	return r
+}
+
+// specKnobs distinguishes ablation variants that share a Spec string.
+func specKnobs(spec driver.Spec) string {
+	c := spec.Core
+	return fmt.Sprintf("agg%d pipe%v poll%d lifo%v cap%d",
+		c.AggLimit, c.Pipeline, c.PollEvery, c.LIFO, spec.Caching.Capacity)
+}
+
+// BHSeq returns the sequential Barnes-Hut baseline (memoized).
+func (s *Session) BHSeq() stats.Run {
+	if s.bhSeq == nil {
+		r := bh.SeqSteps(s.bhBodies, s.W.BHSteps, s.bhPar)
+		s.bhSeq = &r
+	}
+	return *s.bhSeq
+}
+
+// FMMSeq returns the sequential FMM baseline (memoized).
+func (s *Session) FMMSeq() stats.Run {
+	if s.fmmSeq == nil {
+		r, _ := fmm.SeqStep(s.fmmBodies, s.fmmPar)
+		s.fmmSeq = &r
+	}
+	return *s.fmmSeq
+}
+
+// Experiment is one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s *Session)
+}
+
+var experiments []Experiment
+
+func register(e Experiment) { experiments = append(experiments, e) }
+
+// All returns the registered experiments in ID order.
+func All() []Experiment {
+	out := make([]Experiment, len(experiments))
+	copy(out, experiments)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range experiments {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in ID order against one session.
+func RunAll(s *Session) {
+	for _, e := range All() {
+		fmt.Fprintf(s.Out, "\n================================================================\n")
+		fmt.Fprintf(s.Out, "%s: %s  [workload: %s]\n", e.ID, e.Title, s.W.Name)
+		fmt.Fprintf(s.Out, "================================================================\n")
+		e.Run(s)
+	}
+}
+
+// printf writes to the session's output.
+func (s *Session) printf(format string, args ...any) {
+	fmt.Fprintf(s.Out, format, args...)
+}

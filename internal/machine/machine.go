@@ -1,0 +1,370 @@
+// Package machine models a distributed-memory multicomputer in the style of
+// the CRAY T3D: a set of processing nodes connected by a 3D torus, with
+// explicit per-operation cycle costs. It wraps the sim engine with a Node
+// façade used by the messaging layer and the runtimes.
+//
+// All costs are in processor cycles. The defaults are calibrated to the T3D
+// as used by the paper: 150 MHz Alpha 21064 nodes running Illinois Fast
+// Messages, whose dominant costs are per-message processor overheads of a
+// few hundred cycles rather than raw wire bandwidth.
+package machine
+
+import (
+	"fmt"
+
+	"dpa/internal/sim"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Nodes is the number of processing nodes.
+	Nodes int
+	// Torus is the 3D torus shape; the product must be >= Nodes. If zero it
+	// is derived from Nodes.
+	Torus [3]int
+
+	// ClockHz converts cycles to seconds for reporting (T3D: 150 MHz).
+	ClockHz float64
+
+	// SendOverhead is processor cycles to inject one message.
+	SendOverhead sim.Time
+	// RecvOverhead is processor cycles to extract one message at a poll.
+	RecvOverhead sim.Time
+	// PollCost is the cost of one poll operation (even if empty).
+	PollCost sim.Time
+	// HandlerCost is the dispatch cost of running a message handler.
+	HandlerCost sim.Time
+	// LatencyBase is the network transit latency excluding hops.
+	LatencyBase sim.Time
+	// LatencyPerHop is added per torus hop between sender and receiver.
+	LatencyPerHop sim.Time
+	// BytesPerCycle is network bandwidth (payload bytes per cycle).
+	BytesPerCycle float64
+
+	// CacheLines is the capacity (in objects) of the node data-cache model.
+	CacheLines int
+	// CacheHit is the access cost for a recently-touched object.
+	CacheHit sim.Time
+	// CacheMiss is the access cost for a cold object.
+	CacheMiss sim.Time
+	// HashCost is one hash-table probe (paid per access by the software
+	// caching runtime).
+	HashCost sim.Time
+
+	// TraceBins, when positive, enables activity-timeline recording with
+	// the given bin width in cycles (see Timeline).
+	TraceBins sim.Time
+}
+
+// DefaultT3D returns a T3D-like configuration for the given node count.
+//
+// Rationale for the values: the T3D ran 150 MHz Alpha 21064 processors
+// (8 KB direct-mapped L1, no L2). Illinois FM on the T3D had one-way
+// latencies of several microseconds dominated by processor overhead at both
+// ends; we charge ~2.7 us to inject and ~1.7 us to extract a message. The
+// torus network itself was fast relative to software overheads
+// (~1-2 cycles/hop, >100 MB/s links).
+func DefaultT3D(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		ClockHz:       150e6,
+		SendOverhead:  400, // ~2.7 us of processor time per injection
+		RecvOverhead:  250,
+		PollCost:      25,
+		HandlerCost:   120,
+		LatencyBase:   150,
+		LatencyPerHop: 2,
+		BytesPerCycle: 1.0, // ~150 MB/s at 150 MHz
+		CacheLines:    256, // 8 KB L1 / ~32 B lines, in object units
+		CacheHit:      2,
+		CacheMiss:     30,
+		HashCost:      45,
+	}
+}
+
+// Validate fills derived fields and checks invariants.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("machine: Nodes = %d, must be positive", c.Nodes)
+	}
+	if c.Torus == [3]int{} {
+		c.Torus = deriveTorus(c.Nodes)
+	}
+	if c.Torus[0]*c.Torus[1]*c.Torus[2] < c.Nodes {
+		return fmt.Errorf("machine: torus %v too small for %d nodes", c.Torus, c.Nodes)
+	}
+	if c.BytesPerCycle <= 0 {
+		return fmt.Errorf("machine: BytesPerCycle must be positive")
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("machine: ClockHz must be positive")
+	}
+	return nil
+}
+
+// deriveTorus picks a roughly-cubic torus shape for n nodes.
+func deriveTorus(n int) [3]int {
+	dims := [3]int{1, 1, 1}
+	d := 0
+	for dims[0]*dims[1]*dims[2] < n {
+		dims[d] *= 2
+		d = (d + 1) % 3
+	}
+	return dims
+}
+
+// Hops returns the minimal torus hop count between nodes a and b.
+func (c *Config) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	ax, ay, az := coords(a, c.Torus)
+	bx, by, bz := coords(b, c.Torus)
+	return torusDist(ax, bx, c.Torus[0]) + torusDist(ay, by, c.Torus[1]) + torusDist(az, bz, c.Torus[2])
+}
+
+func coords(n int, t [3]int) (x, y, z int) {
+	x = n % t[0]
+	y = (n / t[0]) % t[1]
+	z = n / (t[0] * t[1])
+	return
+}
+
+func torusDist(a, b, dim int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if dim-d < d {
+		d = dim - d
+	}
+	return d
+}
+
+// TransitTime returns network transit latency (excluding endpoint overheads)
+// for a message of the given size between two nodes.
+func (c *Config) TransitTime(from, to, bytes int) sim.Time {
+	t := c.LatencyBase + sim.Time(c.Hops(from, to))*c.LatencyPerHop
+	t += sim.Time(float64(bytes) / c.BytesPerCycle)
+	return t
+}
+
+// Seconds converts virtual cycles to seconds under this config's clock.
+func (c Config) Seconds(t sim.Time) float64 { return float64(t) / c.ClockHz }
+
+// Machine is a configured multicomputer ready to run one SPMD program.
+type Machine struct {
+	Cfg   Config
+	eng   *sim.Engine
+	nodes []*Node
+	trace *Timeline
+}
+
+// New creates a machine. It panics on invalid configuration (configs are
+// built by our own code paths; errors here are programming bugs).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{Cfg: cfg, eng: sim.NewEngine()}
+	if cfg.TraceBins > 0 {
+		m.EnableTrace(cfg.TraceBins)
+	}
+	return m
+}
+
+// Run executes main on every node (SPMD) and returns the makespan in cycles.
+// It may be called once per Machine.
+func (m *Machine) Run(main func(n *Node)) sim.Time {
+	if m.nodes != nil {
+		panic("machine: Run called twice")
+	}
+	m.nodes = make([]*Node, m.Cfg.Nodes)
+	for i := 0; i < m.Cfg.Nodes; i++ {
+		n := &Node{mach: m, id: i, cache: newTouchSet(m.Cfg.CacheLines)}
+		m.nodes[i] = n
+		p := m.eng.Spawn(func(p *sim.Proc) {
+			main(n)
+		})
+		n.proc = p
+		if m.trace != nil {
+			id := i
+			p.SetChargeHook(func(cat sim.Category, start, end sim.Time) {
+				m.trace.record(id, cat, start, end)
+			})
+		}
+	}
+	return m.eng.Run()
+}
+
+// Nodes returns the machine's nodes after Run (for stats collection).
+func (m *Machine) Nodes() []*Node { return m.nodes }
+
+// Node is one simulated processor with its network interface and local
+// memory system model. All methods must be called from the node's own
+// program (the SPMD main function).
+type Node struct {
+	mach  *Machine
+	id    int
+	proc  *sim.Proc
+	cache *touchSet
+
+	// Message accounting.
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+
+	// Data-cache model accounting.
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// ID returns the node id (0-based).
+func (n *Node) ID() int { return n.id }
+
+// N returns the total number of nodes in the machine.
+func (n *Node) N() int { return n.mach.Cfg.Nodes }
+
+// Cfg returns the machine configuration.
+func (n *Node) Cfg() *Config { return &n.mach.Cfg }
+
+// Now returns the node's local virtual time.
+func (n *Node) Now() sim.Time { return n.proc.Now() }
+
+// Charge advances the node clock, attributing the cycles to cat.
+func (n *Node) Charge(cat sim.Category, d sim.Time) { n.proc.Charge(cat, d) }
+
+// Charges returns the per-category cycle totals for this node.
+func (n *Node) Charges() [sim.NumCategories]sim.Time { return n.proc.Charges() }
+
+// Send transmits a message to node dst. It charges the send overhead plus
+// serialization (bytes/bandwidth share of injection) to the sender, and
+// schedules arrival after network transit. The receiver pays its own
+// overhead when it polls.
+func (n *Node) Send(dst, handler int, payload any, bytes int) {
+	c := &n.mach.Cfg
+	n.proc.Charge(sim.SendOv, c.SendOverhead)
+	arrival := n.proc.Now() + c.TransitTime(n.id, dst, bytes)
+	n.proc.Post(dst, sim.Message{Arrival: arrival, Handler: handler, Payload: payload, Bytes: bytes})
+	n.MsgsSent++
+	n.BytesSent += int64(bytes)
+}
+
+// Poll checks the network, charging the poll cost, and returns any arrived
+// messages after charging per-message receive overhead.
+func (n *Node) Poll() []sim.Message {
+	c := &n.mach.Cfg
+	n.proc.Charge(sim.PollOv, c.PollCost)
+	ms := n.proc.Poll()
+	n.account(ms)
+	return ms
+}
+
+// WaitMessage blocks until a message arrives (idle time), then extracts all
+// arrived messages like Poll.
+func (n *Node) WaitMessage() []sim.Message {
+	ms := n.proc.WaitMessage()
+	c := &n.mach.Cfg
+	n.proc.Charge(sim.PollOv, c.PollCost)
+	n.account(ms)
+	return ms
+}
+
+// HasMessage reports whether a message has arrived, without cost.
+func (n *Node) HasMessage() bool { return n.proc.HasMessage() }
+
+func (n *Node) account(ms []sim.Message) {
+	c := &n.mach.Cfg
+	for _, m := range ms {
+		n.proc.Charge(sim.RecvOv, c.RecvOverhead)
+		n.MsgsRecv++
+		n.BytesRecv += int64(m.Bytes)
+	}
+}
+
+// Touch models a data-cache access to the object identified by key,
+// charging CacheHit or CacheMiss depending on recency. Dynamic pointer
+// alignment's tiling benefit (threads on the same object run back to back)
+// manifests through this model.
+func (n *Node) Touch(key uint64) {
+	c := &n.mach.Cfg
+	if n.cache.touch(key) {
+		n.CacheHits++
+		n.proc.Charge(sim.MemOv, c.CacheHit)
+	} else {
+		n.CacheMisses++
+		n.proc.Charge(sim.MemOv, c.CacheMiss)
+	}
+}
+
+// touchSet is a fixed-capacity LRU set of object keys approximating the node
+// data cache.
+type touchSet struct {
+	cap  int
+	m    map[uint64]*tsEntry
+	head *tsEntry // most recent
+	tail *tsEntry // least recent
+}
+
+type tsEntry struct {
+	key        uint64
+	prev, next *tsEntry
+}
+
+func newTouchSet(capacity int) *touchSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &touchSet{cap: capacity, m: make(map[uint64]*tsEntry, capacity)}
+}
+
+// touch records an access and reports whether the key was resident.
+func (s *touchSet) touch(key uint64) bool {
+	if e, ok := s.m[key]; ok {
+		s.moveToFront(e)
+		return true
+	}
+	e := &tsEntry{key: key}
+	s.m[key] = e
+	s.pushFront(e)
+	if len(s.m) > s.cap {
+		old := s.tail
+		s.remove(old)
+		delete(s.m, old.key)
+	}
+	return false
+}
+
+func (s *touchSet) pushFront(e *tsEntry) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *touchSet) remove(e *tsEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *touchSet) moveToFront(e *tsEntry) {
+	if s.head == e {
+		return
+	}
+	s.remove(e)
+	s.pushFront(e)
+}

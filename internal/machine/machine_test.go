@@ -1,0 +1,315 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dpa/internal/sim"
+)
+
+func TestDeriveTorus(t *testing.T) {
+	cases := []struct {
+		n    int
+		want [3]int
+	}{
+		{1, [3]int{1, 1, 1}},
+		{2, [3]int{2, 1, 1}},
+		{4, [3]int{2, 2, 1}},
+		{8, [3]int{2, 2, 2}},
+		{16, [3]int{4, 2, 2}},
+		{64, [3]int{4, 4, 4}},
+	}
+	for _, c := range cases {
+		if got := deriveTorus(c.n); got != c.want {
+			t.Errorf("deriveTorus(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	cfg := DefaultT3D(64)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h := cfg.Hops(0, 0); h != 0 {
+		t.Errorf("Hops(0,0) = %d", h)
+	}
+	if h := cfg.Hops(0, 1); h != 1 {
+		t.Errorf("Hops(0,1) = %d, want 1", h)
+	}
+	// 4x4x4 torus: node 3 is at x=3 which wraps to 1 hop from x=0.
+	if h := cfg.Hops(0, 3); h != 1 {
+		t.Errorf("Hops(0,3) = %d, want 1 (torus wrap)", h)
+	}
+	// Farthest point in a 4x4x4 torus is (2,2,2) = 6 hops.
+	far := 2 + 2*4 + 2*16
+	if h := cfg.Hops(0, far); h != 6 {
+		t.Errorf("Hops(0,%d) = %d, want 6", far, h)
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	cfg := DefaultT3D(32)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		x, y := int(a)%32, int(b)%32
+		return cfg.Hops(x, y) == cfg.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	cfg := DefaultT3D(16)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%16, int(b)%16, int(c)%16
+		return cfg.Hops(x, z) <= cfg.Hops(x, y)+cfg.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := DefaultT3D(0)
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for 0 nodes")
+	}
+	cfg = DefaultT3D(4)
+	cfg.Torus = [3]int{1, 1, 1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for undersized torus")
+	}
+	cfg = DefaultT3D(4)
+	cfg.BytesPerCycle = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for zero bandwidth")
+	}
+}
+
+func TestSendReceiveCosts(t *testing.T) {
+	cfg := DefaultT3D(2)
+	m := New(cfg)
+	var sendCharged, recvCharged sim.Time
+	makespan := m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.Send(1, 7, "payload", 100)
+			sendCharged = n.Charges()[sim.SendOv]
+		} else {
+			ms := n.WaitMessage()
+			if len(ms) != 1 || ms[0].Handler != 7 || ms[0].Bytes != 100 {
+				t.Errorf("bad receive: %+v", ms)
+			}
+			recvCharged = n.Charges()[sim.RecvOv]
+		}
+	})
+	if sendCharged != cfg.SendOverhead {
+		t.Errorf("send overhead charged %d, want %d", sendCharged, cfg.SendOverhead)
+	}
+	if recvCharged != cfg.RecvOverhead {
+		t.Errorf("recv overhead charged %d, want %d", recvCharged, cfg.RecvOverhead)
+	}
+	// Makespan must be at least overheads plus transit (latency + bytes).
+	min := cfg.SendOverhead + cfg.LatencyBase + sim.Time(100)
+	if makespan < min {
+		t.Errorf("makespan %d < minimum %d", makespan, min)
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	m := New(DefaultT3D(2))
+	m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				n.Send(1, 0, nil, 10)
+			}
+		} else {
+			got := 0
+			for got < 5 {
+				got += len(n.WaitMessage())
+			}
+		}
+	})
+	n0, n1 := m.Nodes()[0], m.Nodes()[1]
+	if n0.MsgsSent != 5 || n0.BytesSent != 50 {
+		t.Errorf("sender stats: %d msgs %d bytes", n0.MsgsSent, n0.BytesSent)
+	}
+	if n1.MsgsRecv != 5 || n1.BytesRecv != 50 {
+		t.Errorf("receiver stats: %d msgs %d bytes", n1.MsgsRecv, n1.BytesRecv)
+	}
+}
+
+func TestBiggerMessagesArriveLater(t *testing.T) {
+	cfg := DefaultT3D(2)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	small := cfg.TransitTime(0, 1, 8)
+	big := cfg.TransitTime(0, 1, 4096)
+	if big <= small {
+		t.Errorf("transit(4096)=%d <= transit(8)=%d", big, small)
+	}
+	if big-small != sim.Time(4096-8) { // 1 byte/cycle
+		t.Errorf("bandwidth term wrong: diff=%d", big-small)
+	}
+}
+
+func TestTouchSetLRU(t *testing.T) {
+	s := newTouchSet(2)
+	if s.touch(1) {
+		t.Error("1 should be cold")
+	}
+	if !s.touch(1) {
+		t.Error("1 should be hot")
+	}
+	s.touch(2)
+	s.touch(3) // evicts 1 (LRU)
+	if s.touch(1) {
+		t.Error("1 should have been evicted")
+	}
+	if !s.touch(3) {
+		t.Error("3 should be resident")
+	}
+}
+
+func TestTouchSetBounded(t *testing.T) {
+	f := func(keys []uint16) bool {
+		s := newTouchSet(8)
+		for _, k := range keys {
+			s.touch(uint64(k))
+		}
+		return len(s.m) <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchChargesHitVsMiss(t *testing.T) {
+	cfg := DefaultT3D(1)
+	m := New(cfg)
+	m.Run(func(n *Node) {
+		n.Touch(42) // miss
+		before := n.Charges()[sim.MemOv]
+		if before != cfg.CacheMiss {
+			t.Errorf("first touch charged %d, want miss %d", before, cfg.CacheMiss)
+		}
+		n.Touch(42) // hit
+		after := n.Charges()[sim.MemOv]
+		if after-before != cfg.CacheHit {
+			t.Errorf("second touch charged %d, want hit %d", after-before, cfg.CacheHit)
+		}
+	})
+}
+
+func TestSeconds(t *testing.T) {
+	cfg := DefaultT3D(1)
+	if got := cfg.Seconds(150e6); got != 1.0 {
+		t.Errorf("Seconds(150e6) = %v, want 1.0", got)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	m := New(DefaultT3D(1))
+	m.Run(func(n *Node) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	m.Run(func(n *Node) {})
+}
+
+func TestSPMDAllNodesRun(t *testing.T) {
+	const n = 8
+	m := New(DefaultT3D(n))
+	ran := make([]bool, n)
+	m.Run(func(nd *Node) {
+		ran[nd.ID()] = true
+		if nd.N() != n {
+			t.Errorf("N() = %d, want %d", nd.N(), n)
+		}
+	})
+	for i, r := range ran {
+		if !r {
+			t.Errorf("node %d did not run", i)
+		}
+	}
+}
+
+func TestTimelineRecordsBins(t *testing.T) {
+	m := New(DefaultT3D(2))
+	m.EnableTrace(100)
+	m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.Charge(sim.Compute, 250) // bins 0,1,2
+			n.Send(1, 0, nil, 4)
+		} else {
+			n.WaitMessage() // idle until arrival
+		}
+	})
+	tl := m.Trace()
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	// Node 0: 100 compute in bin 0, 100 in bin 1, 50 in bin 2.
+	if got := tl.Bins[0][0][sim.Compute]; got != 100 {
+		t.Errorf("bin 0 compute = %d", got)
+	}
+	if got := tl.Bins[0][2][sim.Compute]; got != 50 {
+		t.Errorf("bin 2 compute = %d", got)
+	}
+	// Node 1 idled from 0 to the arrival.
+	var idle sim.Time
+	for _, b := range tl.Bins[1] {
+		idle += b[sim.Idle]
+	}
+	if idle == 0 {
+		t.Error("receiver idle not recorded")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	m := New(DefaultT3D(2))
+	m.EnableTrace(10)
+	m.Run(func(n *Node) {
+		if n.ID() == 0 {
+			n.Charge(sim.Compute, 1000)
+			n.Send(1, 0, nil, 4)
+		} else {
+			n.WaitMessage()
+		}
+	})
+	rows := m.Trace().Gantt(20)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(rows[0]) != 20 || len(rows[1]) != 20 {
+		t.Fatalf("row widths %d/%d", len(rows[0]), len(rows[1]))
+	}
+	// Node 0 is dominated by compute, node 1 by idle.
+	if !strings.Contains(rows[0], "#") {
+		t.Errorf("node 0 row %q has no compute", rows[0])
+	}
+	if !strings.Contains(rows[1], ".") {
+		t.Errorf("node 1 row %q has no idle", rows[1])
+	}
+}
+
+func TestEnableTraceAfterRunPanics(t *testing.T) {
+	m := New(DefaultT3D(1))
+	m.Run(func(n *Node) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.EnableTrace(10)
+}

@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"strings"
+
+	"dpa/internal/sim"
+)
+
+// Timeline is a binned per-node activity record: for each node and time
+// bin, the cycles spent in each charge category. Memory is fixed by the
+// bin width, so tracing full-scale runs is cheap.
+type Timeline struct {
+	BinWidth sim.Time
+	// Bins[node][bin][category] = cycles.
+	Bins [][][sim.NumCategories]sim.Time
+}
+
+// EnableTrace turns on activity recording with the given bin width (in
+// cycles). Must be called before Run.
+func (m *Machine) EnableTrace(binWidth sim.Time) {
+	if binWidth <= 0 {
+		panic("machine: trace bin width must be positive")
+	}
+	if m.nodes != nil {
+		panic("machine: EnableTrace after Run")
+	}
+	m.trace = &Timeline{
+		BinWidth: binWidth,
+		Bins:     make([][][sim.NumCategories]sim.Time, m.Cfg.Nodes),
+	}
+}
+
+// Trace returns the recorded timeline (nil if tracing was not enabled).
+func (m *Machine) Trace() *Timeline { return m.trace }
+
+// record distributes the interval [start, end) of category cat over bins.
+func (t *Timeline) record(node int, cat sim.Category, start, end sim.Time) {
+	for start < end {
+		bin := int(start / t.BinWidth)
+		for bin >= len(t.Bins[node]) {
+			t.Bins[node] = append(t.Bins[node], [sim.NumCategories]sim.Time{})
+		}
+		binEnd := sim.Time(bin+1) * t.BinWidth
+		if binEnd > end {
+			binEnd = end
+		}
+		t.Bins[node][bin][cat] += binEnd - start
+		start = binEnd
+	}
+}
+
+// ganttClass maps a category to a display class: '#' local computation,
+// '+' communication overhead, '.' idle, ' ' nothing.
+func ganttClass(c [sim.NumCategories]sim.Time) byte {
+	local := c[sim.Compute] + c[sim.MemOv] + c[sim.SchedOv] + c[sim.HashOv]
+	comm := c[sim.SendOv] + c[sim.RecvOv] + c[sim.PollOv] + c[sim.HandlerOv]
+	idle := c[sim.Idle]
+	switch {
+	case local == 0 && comm == 0 && idle == 0:
+		return ' '
+	case local >= comm && local >= idle:
+		return '#'
+	case comm >= idle:
+		return '+'
+	default:
+		return '.'
+	}
+}
+
+// Gantt renders one text row per node, width columns wide, each column
+// showing the dominant activity ('#' compute, '+' communication overhead,
+// '.' idle) in that slice of the run.
+func (t *Timeline) Gantt(width int) []string {
+	maxBins := 0
+	for _, nb := range t.Bins {
+		if len(nb) > maxBins {
+			maxBins = len(nb)
+		}
+	}
+	rows := make([]string, len(t.Bins))
+	if maxBins == 0 {
+		for i := range rows {
+			rows[i] = strings.Repeat(" ", width)
+		}
+		return rows
+	}
+	for n, nb := range t.Bins {
+		var sb strings.Builder
+		for col := 0; col < width; col++ {
+			// Merge the bins that fall into this column.
+			lo := col * maxBins / width
+			hi := (col + 1) * maxBins / width
+			if hi == lo {
+				hi = lo + 1
+			}
+			var merged [sim.NumCategories]sim.Time
+			for b := lo; b < hi && b < len(nb); b++ {
+				for c := range merged {
+					merged[c] += nb[b][c]
+				}
+			}
+			sb.WriteByte(ganttClass(merged))
+		}
+		rows[n] = sb.String()
+	}
+	return rows
+}

@@ -1,0 +1,240 @@
+package pdg
+
+import (
+	"fmt"
+
+	"dpa/internal/gptr"
+)
+
+// Env is a variable environment.
+type Env map[string]Value
+
+// Clone copies an environment (the partitioned runtime uses copies as the
+// paper's explicit renaming).
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Result collects a program's observable effects: the commutative
+// accumulators and total abstract work.
+type Result struct {
+	Acc  map[string]float64
+	Work int64
+}
+
+// NewResult returns an empty result collector.
+func NewResult() *Result { return &Result{Acc: map[string]float64{}} }
+
+// Add accumulates into a named accumulator.
+func (r *Result) Add(target string, v float64) { r.Acc[target] += v }
+
+const maxSteps = 50_000_000
+
+// Interp executes programs sequentially against a space — the reference
+// semantics the thread partitioner must preserve.
+type Interp struct {
+	Prog  *Program
+	Space *gptr.Space
+	Res   *Result
+	steps int64
+}
+
+// RunSeq executes prog's entry function on the given arguments and returns
+// the result collector.
+func RunSeq(prog *Program, space *gptr.Space, args ...Value) *Result {
+	in := &Interp{Prog: prog, Space: space, Res: NewResult()}
+	fn := prog.Fn(prog.Entry)
+	env := bindArgs(fn, args)
+	in.Block(fn.Body, env)
+	return in.Res
+}
+
+// bindArgs builds the entry environment for a call.
+func bindArgs(fn *Func, args []Value) Env {
+	if len(args) != len(fn.Params) {
+		panic(fmt.Sprintf("pdg: %s expects %d args, got %d", fn.Name, len(fn.Params), len(args)))
+	}
+	env := make(Env, len(args))
+	for i, p := range fn.Params {
+		env[p] = args[i]
+	}
+	return env
+}
+
+// Block executes a statement list.
+func (in *Interp) Block(body []Stmt, env Env) {
+	for _, s := range body {
+		in.Stmt(s, env)
+	}
+}
+
+// Stmt executes one statement.
+func (in *Interp) Stmt(s Stmt, env Env) {
+	in.steps++
+	if in.steps > maxSteps {
+		panic("pdg: step limit exceeded (diverging program?)")
+	}
+	switch x := s.(type) {
+	case Assign:
+		env[x.Dst] = Eval(x.E, env)
+	case GLoad:
+		p := env[x.Ptr].(gptr.Ptr)
+		rec := in.Space.Get(p).(*Record)
+		v, ok := rec.F[x.Field]
+		if !ok {
+			panic(fmt.Sprintf("pdg: record has no field %q", x.Field))
+		}
+		env[x.Dst] = v
+	case Work:
+		in.Res.Work += x.Cost
+	case Accum:
+		in.Res.Add(x.Target, AsFloat(Eval(x.E, env)))
+	case Call:
+		fn := in.Prog.Fn(x.Fn)
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Eval(a, env)
+		}
+		in.Block(fn.Body, bindArgs(fn, args))
+	case If:
+		if Eval(x.Cond, env).(bool) {
+			in.Block(x.Then, env)
+		} else {
+			in.Block(x.Else, env)
+		}
+	case ConcFor:
+		n := AsInt(Eval(x.N, env))
+		for i := int64(0); i < n; i++ {
+			env[x.Var] = i
+			in.Block(x.Body, env)
+		}
+	case While:
+		for Eval(x.Cond, env).(bool) {
+			in.steps++
+			if in.steps > maxSteps {
+				panic("pdg: step limit exceeded in while")
+			}
+			in.Block(x.Body, env)
+		}
+	default:
+		panic(fmt.Sprintf("pdg: unknown stmt %T", s))
+	}
+}
+
+// Eval evaluates an expression in an environment.
+func Eval(e Expr, env Env) Value {
+	switch x := e.(type) {
+	case V:
+		v, ok := env[x.Name]
+		if !ok {
+			panic(fmt.Sprintf("pdg: undefined variable %q", x.Name))
+		}
+		return v
+	case C:
+		return x.Val
+	case Bin:
+		return evalBin(x.Op, Eval(x.L, env), Eval(x.R, env))
+	case Index:
+		arr := Eval(x.Arr, env).([]gptr.Ptr)
+		i := AsInt(Eval(x.Idx, env))
+		return arr[i]
+	case IsNil:
+		return Eval(x.E, env).(gptr.Ptr).IsNil()
+	case Not:
+		return !Eval(x.E, env).(bool)
+	default:
+		panic(fmt.Sprintf("pdg: unknown expr %T", e))
+	}
+}
+
+// AsInt coerces a numeric value to int64.
+func AsInt(v Value) int64 {
+	switch n := v.(type) {
+	case int64:
+		return n
+	case int:
+		return int64(n)
+	case float64:
+		return int64(n)
+	}
+	panic(fmt.Sprintf("pdg: %T is not numeric", v))
+}
+
+// AsFloat coerces a numeric value to float64.
+func AsFloat(v Value) float64 {
+	switch n := v.(type) {
+	case int64:
+		return float64(n)
+	case int:
+		return float64(n)
+	case float64:
+		return n
+	}
+	panic(fmt.Sprintf("pdg: %T is not numeric", v))
+}
+
+func evalBin(op string, l, r Value) Value {
+	switch op {
+	case "&&":
+		return l.(bool) && r.(bool)
+	case "||":
+		return l.(bool) || r.(bool)
+	}
+	// Numeric: int arithmetic when both int, float otherwise.
+	li, lInt := toInt(l)
+	ri, rInt := toInt(r)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri
+		case "-":
+			return li - ri
+		case "*":
+			return li * ri
+		case "/":
+			return li / ri
+		case "<":
+			return li < ri
+		case "<=":
+			return li <= ri
+		case "==":
+			return li == ri
+		case "!=":
+			return li != ri
+		}
+	}
+	lf, rf := AsFloat(l), AsFloat(r)
+	switch op {
+	case "+":
+		return lf + rf
+	case "-":
+		return lf - rf
+	case "*":
+		return lf * rf
+	case "/":
+		return lf / rf
+	case "<":
+		return lf < rf
+	case "<=":
+		return lf <= rf
+	case "==":
+		return lf == rf
+	case "!=":
+		return lf != rf
+	}
+	panic(fmt.Sprintf("pdg: unknown op %q", op))
+}
+
+func toInt(v Value) (int64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	}
+	return 0, false
+}

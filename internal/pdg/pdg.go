@@ -1,0 +1,208 @@
+// Package pdg provides the mini intermediate representation that stands in
+// for the Illinois Concert compiler's program dependence graph: a small
+// pointer-based language with global-pointer loads, conc (concurrent)
+// blocks and loops, data-dependent while loops, recursion, and commutative
+// accumulation — the program shapes of Section 3 of the paper. It also
+// provides def/use dependence information and a sequential reference
+// interpreter, which the thread partitioner (package tpart) checks its
+// transformed programs against.
+package pdg
+
+import "fmt"
+
+// Value is a runtime value: int64, float64, bool, gptr.Ptr, or []gptr.Ptr.
+type Value any
+
+// Record is a heap object: a pointer-based node with named fields (numbers
+// or pointers). It models the paper's inline-allocated objects.
+type Record struct {
+	F map[string]Value
+}
+
+// ByteSize models the transfer size of the record.
+func (r *Record) ByteSize() int { return 16 + 24*len(r.F) }
+
+// Program is a set of functions; execution starts at Entry.
+type Program struct {
+	Funcs map[string]*Func
+	Entry string
+}
+
+// Func is one function. Params are bound positionally at calls.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Fn returns the named function, panicking if absent (a program bug).
+func (p *Program) Fn(name string) *Func {
+	f, ok := p.Funcs[name]
+	if !ok {
+		panic(fmt.Sprintf("pdg: undefined function %q", name))
+	}
+	return f
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+// Assign evaluates E into Dst (local data flow).
+type Assign struct {
+	Dst string
+	E   Expr
+}
+
+// GLoad is a global-pointer dereference: Dst = Ptr->Field. This is the
+// operation that may require communication and around which the partitioner
+// forms threads.
+type GLoad struct {
+	Dst   string
+	Ptr   string
+	Field string
+}
+
+// Work is abstract local computation costing Cost cycles and using the
+// given variables (dependence only; no value produced).
+type Work struct {
+	Cost int64
+	Uses []string
+}
+
+// Accum commutatively accumulates E into the named global accumulator.
+// Commutativity is what lets the partitioner reorder iterations.
+type Accum struct {
+	Target string
+	E      Expr
+}
+
+// Call invokes Fn with positional args.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// If branches on Cond.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ConcFor is a concurrency-annotated counted loop: iterations are declared
+// independent (the paper's `conc for`), so they may be interleaved and
+// reordered.
+type ConcFor struct {
+	Var  string
+	N    Expr
+	Body []Stmt
+}
+
+// While is a data-dependent loop (e.g. list traversal); iterations are
+// sequentially dependent through the variables assigned in the body.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (Assign) stmt()  {}
+func (GLoad) stmt()   {}
+func (Work) stmt()    {}
+func (Accum) stmt()   {}
+func (Call) stmt()    {}
+func (If) stmt()      {}
+func (ConcFor) stmt() {}
+func (While) stmt()   {}
+
+// Expr is an expression.
+type Expr interface{ expr() }
+
+// V references a variable.
+type V struct{ Name string }
+
+// C is a constant.
+type C struct{ Val Value }
+
+// Bin is a binary operation: + - * / < <= == != && ||.
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+// Index selects element Idx of a pointer-slice variable.
+type Index struct {
+	Arr Expr
+	Idx Expr
+}
+
+// IsNil tests a pointer for nil.
+type IsNil struct{ E Expr }
+
+// Not negates a boolean.
+type Not struct{ E Expr }
+
+func (V) expr()     {}
+func (C) expr()     {}
+func (Bin) expr()   {}
+func (Index) expr() {}
+func (IsNil) expr() {}
+func (Not) expr()   {}
+
+// Uses appends the variables an expression reads to dst.
+func Uses(e Expr, dst []string) []string {
+	switch x := e.(type) {
+	case V:
+		dst = append(dst, x.Name)
+	case C:
+	case Bin:
+		dst = Uses(x.L, dst)
+		dst = Uses(x.R, dst)
+	case Index:
+		dst = Uses(x.Arr, dst)
+		dst = Uses(x.Idx, dst)
+	case IsNil:
+		dst = Uses(x.E, dst)
+	case Not:
+		dst = Uses(x.E, dst)
+	default:
+		panic(fmt.Sprintf("pdg: unknown expr %T", e))
+	}
+	return dst
+}
+
+// StmtDefs returns the variable a statement defines ("" if none).
+func StmtDefs(s Stmt) string {
+	switch x := s.(type) {
+	case Assign:
+		return x.Dst
+	case GLoad:
+		return x.Dst
+	}
+	return ""
+}
+
+// StmtUses appends the variables a statement directly reads (not including
+// nested bodies) to dst.
+func StmtUses(s Stmt, dst []string) []string {
+	switch x := s.(type) {
+	case Assign:
+		dst = Uses(x.E, dst)
+	case GLoad:
+		dst = append(dst, x.Ptr)
+	case Work:
+		dst = append(dst, x.Uses...)
+	case Accum:
+		dst = Uses(x.E, dst)
+	case Call:
+		for _, a := range x.Args {
+			dst = Uses(a, dst)
+		}
+	case If:
+		dst = Uses(x.Cond, dst)
+	case ConcFor:
+		dst = Uses(x.N, dst)
+	case While:
+		dst = Uses(x.Cond, dst)
+	}
+	return dst
+}

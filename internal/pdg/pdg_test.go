@@ -1,0 +1,201 @@
+package pdg
+
+import (
+	"testing"
+
+	"dpa/internal/gptr"
+)
+
+// buildList creates a linked list of n records with val=1..n spread across
+// the space's nodes round-robin, returning the head.
+func buildList(space *gptr.Space, n int) gptr.Ptr {
+	next := gptr.Nil
+	for i := n; i >= 1; i-- {
+		rec := &Record{F: map[string]Value{"val": float64(i), "next": next}}
+		next = space.Alloc((i-1)%space.Nodes(), rec)
+	}
+	return next
+}
+
+// listSumProg sums a linked list via a data-dependent while loop.
+func listSumProg() *Program {
+	return &Program{
+		Entry: "main",
+		Funcs: map[string]*Func{
+			"main": {
+				Name:   "main",
+				Params: []string{"head"},
+				Body: []Stmt{
+					Assign{Dst: "p", E: V{Name: "head"}},
+					While{
+						Cond: Not{E: IsNil{E: V{Name: "p"}}},
+						Body: []Stmt{
+							GLoad{Dst: "v", Ptr: "p", Field: "val"},
+							Accum{Target: "sum", E: V{Name: "v"}},
+							GLoad{Dst: "p", Ptr: "p", Field: "next"},
+						},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestInterpListSum(t *testing.T) {
+	space := gptr.NewSpace(4)
+	head := buildList(space, 100)
+	res := RunSeq(listSumProg(), space, head)
+	if res.Acc["sum"] != 5050 {
+		t.Fatalf("sum = %v, want 5050", res.Acc["sum"])
+	}
+}
+
+func TestInterpEmptyList(t *testing.T) {
+	space := gptr.NewSpace(1)
+	res := RunSeq(listSumProg(), space, gptr.Nil)
+	if res.Acc["sum"] != 0 {
+		t.Fatalf("sum = %v", res.Acc["sum"])
+	}
+}
+
+func TestInterpConcFor(t *testing.T) {
+	space := gptr.NewSpace(2)
+	var roots []gptr.Ptr
+	for i := 0; i < 10; i++ {
+		roots = append(roots, space.Alloc(i%2, &Record{F: map[string]Value{"val": float64(i)}}))
+	}
+	prog := &Program{
+		Entry: "main",
+		Funcs: map[string]*Func{
+			"main": {
+				Name:   "main",
+				Params: []string{"roots", "n"},
+				Body: []Stmt{
+					ConcFor{Var: "i", N: V{Name: "n"}, Body: []Stmt{
+						Assign{Dst: "r", E: Index{Arr: V{Name: "roots"}, Idx: V{Name: "i"}}},
+						GLoad{Dst: "v", Ptr: "r", Field: "val"},
+						Accum{Target: "sum", E: Bin{Op: "*", L: V{Name: "v"}, R: C{Val: float64(2)}}},
+					}},
+				},
+			},
+		},
+	}
+	res := RunSeq(prog, space, roots, int64(10))
+	if res.Acc["sum"] != 90 { // 2 * (0+..+9)
+		t.Fatalf("sum = %v, want 90", res.Acc["sum"])
+	}
+}
+
+func TestInterpRecursion(t *testing.T) {
+	space := gptr.NewSpace(2)
+	// Balanced binary tree of depth 3 with val = node index.
+	var mk func(depth, id int) (gptr.Ptr, float64)
+	mk = func(depth, id int) (gptr.Ptr, float64) {
+		if depth == 0 {
+			return gptr.Nil, 0
+		}
+		l, ls := mk(depth-1, id*2)
+		r, rs := mk(depth-1, id*2+1)
+		rec := &Record{F: map[string]Value{"val": float64(id), "left": l, "right": r}}
+		return space.Alloc(id%2, rec), float64(id) + ls + rs
+	}
+	root, want := mk(3, 1)
+	prog := &Program{
+		Entry: "main",
+		Funcs: map[string]*Func{
+			"main": {Name: "main", Params: []string{"root"}, Body: []Stmt{
+				Call{Fn: "walk", Args: []Expr{V{Name: "root"}}},
+			}},
+			"walk": {Name: "walk", Params: []string{"t"}, Body: []Stmt{
+				GLoad{Dst: "v", Ptr: "t", Field: "val"},
+				Work{Cost: 5, Uses: []string{"v"}},
+				Accum{Target: "sum", E: V{Name: "v"}},
+				GLoad{Dst: "l", Ptr: "t", Field: "left"},
+				GLoad{Dst: "r", Ptr: "t", Field: "right"},
+				If{Cond: Not{E: IsNil{E: V{Name: "l"}}},
+					Then: []Stmt{Call{Fn: "walk", Args: []Expr{V{Name: "l"}}}}},
+				If{Cond: Not{E: IsNil{E: V{Name: "r"}}},
+					Then: []Stmt{Call{Fn: "walk", Args: []Expr{V{Name: "r"}}}}},
+			}},
+		},
+	}
+	res := RunSeq(prog, space, root)
+	if res.Acc["sum"] != want {
+		t.Fatalf("sum = %v, want %v", res.Acc["sum"], want)
+	}
+	if res.Work != 5*7 { // 7 nodes in a depth-3 tree
+		t.Fatalf("work = %d, want 35", res.Work)
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	env := Env{"x": int64(7), "y": 2.5}
+	cases := []struct {
+		e    Expr
+		want Value
+	}{
+		{Bin{Op: "+", L: V{Name: "x"}, R: C{Val: int64(3)}}, int64(10)},
+		{Bin{Op: "*", L: V{Name: "y"}, R: C{Val: 4.0}}, 10.0},
+		{Bin{Op: "+", L: V{Name: "x"}, R: V{Name: "y"}}, 9.5}, // mixed promotes
+		{Bin{Op: "<", L: C{Val: int64(1)}, R: C{Val: int64(2)}}, true},
+		{Bin{Op: "==", L: C{Val: 2.0}, R: C{Val: 2.0}}, true},
+		{Bin{Op: "&&", L: C{Val: true}, R: C{Val: false}}, false},
+		{Not{E: C{Val: false}}, true},
+	}
+	for i, c := range cases {
+		if got := Eval(c.e, env); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestUndefinedVariablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Eval(V{Name: "nope"}, Env{})
+}
+
+func TestDefUse(t *testing.T) {
+	s := GLoad{Dst: "v", Ptr: "p", Field: "f"}
+	if StmtDefs(s) != "v" {
+		t.Error("GLoad def wrong")
+	}
+	u := StmtUses(s, nil)
+	if len(u) != 1 || u[0] != "p" {
+		t.Errorf("GLoad uses %v", u)
+	}
+	a := Assign{Dst: "x", E: Bin{Op: "+", L: V{Name: "a"}, R: V{Name: "b"}}}
+	u = StmtUses(a, nil)
+	if len(u) != 2 {
+		t.Errorf("Assign uses %v", u)
+	}
+}
+
+func TestEnvClone(t *testing.T) {
+	e := Env{"a": int64(1)}
+	c := e.Clone()
+	c["a"] = int64(2)
+	if e["a"].(int64) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := &Program{
+		Entry: "main",
+		Funcs: map[string]*Func{
+			"main": {Name: "main", Body: []Stmt{
+				While{Cond: C{Val: true}, Body: []Stmt{Work{Cost: 1}}},
+			}},
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected step-limit panic")
+		}
+	}()
+	RunSeq(prog, gptr.NewSpace(1))
+}

@@ -1,0 +1,55 @@
+package sim
+
+// msgHeap is a binary min-heap of messages ordered by (Arrival, seq), giving
+// deterministic delivery order for simultaneous arrivals.
+type msgHeap []Message
+
+func (h msgHeap) less(i, j int) bool {
+	if h[i].Arrival != h[j].Arrival {
+		return h[i].Arrival < h[j].Arrival
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *msgHeap) push(m Message) {
+	*h = append(*h, m)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *msgHeap) pop() Message {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = Message{} // clear payload reference
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h msgHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

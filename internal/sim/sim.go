@@ -1,0 +1,378 @@
+// Package sim provides a deterministic virtual-time simulation engine for
+// multicomputer models.
+//
+// A simulation consists of a set of processes (one per simulated processor),
+// each backed by a goroutine that runs ordinary Go code. Every process owns a
+// local virtual clock, advanced explicitly by Charge. Processes communicate
+// only by posting timestamped messages into each other's mailboxes.
+//
+// The engine is conservative and sequential: exactly one process executes at
+// a time, and the engine always resumes the process with the smallest wake-up
+// time (ties broken by process id), so simulations are exactly reproducible.
+// Because a process's clock advances only by the work it charges, and because
+// messages are delivered no earlier than their send time plus a non-negative
+// delay, no process can ever observe a message from its own future.
+//
+// Processes yield control to the engine only at Poll and WaitMessage. To keep
+// goroutine hand-offs rare, the engine gives each resumed process a horizon:
+// the smallest wake-up time of any other process. Until the process's clock
+// crosses the horizon, polling and waiting are serviced locally without a
+// context switch.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is virtual time measured in processor cycles.
+type Time int64
+
+// Forever is a sentinel wake-up time for processes blocked with no pending
+// messages.
+const Forever Time = 1 << 62
+
+// Category classifies charged cycles so that higher layers can report
+// execution-time breakdowns (local computation vs. communication overhead
+// vs. idle time, as in the paper's figures).
+type Category uint8
+
+const (
+	// Compute is useful local computation (force evaluation, traversal
+	// tests, expansion arithmetic, ...).
+	Compute Category = iota
+	// SendOv is processor overhead for injecting a message.
+	SendOv
+	// RecvOv is processor overhead for extracting a message.
+	RecvOv
+	// PollOv is the cost of checking for incoming messages.
+	PollOv
+	// HandlerOv is the cost of dispatching a message handler.
+	HandlerOv
+	// HashOv is hash-table lookup cost (the software-caching runtime pays
+	// this on every global access).
+	HashOv
+	// SchedOv is thread creation/scheduling overhead in the runtimes.
+	SchedOv
+	// MemOv is modeled memory-system cost (cache hits/misses on object
+	// access).
+	MemOv
+	// Idle is time spent with no local work, waiting for messages.
+	Idle
+	// NumCategories is the number of charge categories.
+	NumCategories
+)
+
+// String returns a short human-readable name for the category.
+func (c Category) String() string {
+	switch c {
+	case Compute:
+		return "compute"
+	case SendOv:
+		return "send"
+	case RecvOv:
+		return "recv"
+	case PollOv:
+		return "poll"
+	case HandlerOv:
+		return "handler"
+	case HashOv:
+		return "hash"
+	case SchedOv:
+		return "sched"
+	case MemOv:
+		return "mem"
+	case Idle:
+		return "idle"
+	}
+	return fmt.Sprintf("cat(%d)", uint8(c))
+}
+
+// Message is a timestamped message in a process mailbox. The engine does not
+// interpret Handler or Payload; higher layers (the fm package) define them.
+type Message struct {
+	Arrival Time
+	seq     uint64 // global send order, for deterministic tie-breaking
+	From    int
+	Handler int
+	Payload any
+	Bytes   int
+}
+
+type procState uint8
+
+const (
+	stateReady   procState = iota // wants to run at wake
+	stateBlocked                  // waiting for a message
+	stateRunning
+	stateDone
+)
+
+// Proc is a simulated process. All methods must be called from the process's
+// own goroutine (the function passed to Engine.Spawn), never from outside.
+type Proc struct {
+	id      int
+	eng     *Engine
+	clock   Time
+	state   procState
+	wake    Time
+	horizon Time // smallest wake time among other live procs, set at resume
+
+	mailbox msgHeap
+
+	resume  chan struct{}
+	yielded chan struct{}
+
+	charges [NumCategories]Time
+
+	// onCharge, when set, observes every clock advance as
+	// (category, start, end) — the hook behind activity timelines.
+	onCharge func(Category, Time, Time)
+}
+
+// SetChargeHook installs an observer for every clock advance (including
+// idle waits). Pass nil to disable. Must be set before the process runs.
+func (p *Proc) SetChargeHook(fn func(cat Category, start, end Time)) {
+	p.onCharge = fn
+}
+
+// ID returns the process id (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the process's local virtual time.
+func (p *Proc) Now() Time { return p.clock }
+
+// Charge advances the local clock by d cycles, attributing them to cat.
+// Charging never yields control.
+func (p *Proc) Charge(cat Category, d Time) {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	start := p.clock
+	p.clock += d
+	p.charges[cat] += d
+	if p.onCharge != nil && d > 0 {
+		p.onCharge(cat, start, p.clock)
+	}
+}
+
+// Charges returns the per-category cycle totals accumulated so far.
+func (p *Proc) Charges() [NumCategories]Time { return p.charges }
+
+// Post inserts a message into the mailbox of process dst with the given
+// arrival time. Arrival must be >= the sender's current clock. Post never
+// yields; the engine notices the new message the next time it schedules.
+func (p *Proc) Post(dst int, m Message) {
+	if m.Arrival < p.clock {
+		panic(fmt.Sprintf("sim: message arrival %d before sender clock %d", m.Arrival, p.clock))
+	}
+	q := p.eng.procs[dst]
+	m.seq = p.eng.seq
+	m.From = p.id
+	p.eng.seq++
+	q.mailbox.push(m)
+	if q.state == stateBlocked && m.Arrival < q.wake {
+		q.wake = m.Arrival
+	}
+	// The receiver may now need to run before our previous horizon.
+	if dst != p.id && m.Arrival < p.horizon {
+		p.horizon = m.Arrival
+	}
+}
+
+// Poll returns (removing) all messages whose arrival time is <= the current
+// clock, in arrival order. If the clock has crossed the scheduling horizon,
+// Poll first yields so that other processes with earlier clocks can run.
+// Poll itself charges nothing; callers charge poll cost explicitly.
+func (p *Proc) Poll() []Message {
+	if p.clock >= p.horizon {
+		p.yield(stateReady, p.clock)
+	}
+	return p.drain()
+}
+
+// HasMessage reports whether a message has already arrived (arrival <= now).
+func (p *Proc) HasMessage() bool {
+	if p.clock >= p.horizon {
+		p.yield(stateReady, p.clock)
+	}
+	return len(p.mailbox) > 0 && p.mailbox[0].Arrival <= p.clock
+}
+
+// WaitMessage blocks until at least one message has arrived, advancing the
+// local clock to the arrival time and charging the advance as Idle. It then
+// returns the arrived messages (like Poll). If a message has already arrived
+// it returns immediately without idling.
+func (p *Proc) WaitMessage() []Message {
+	for {
+		if len(p.mailbox) > 0 {
+			at := p.mailbox[0].Arrival
+			if at <= p.clock {
+				if p.clock >= p.horizon {
+					p.yield(stateReady, p.clock)
+				}
+				return p.drain()
+			}
+			// The earliest pending message is in our future. If no other
+			// process needs to run before it arrives, just advance.
+			if at <= p.horizon {
+				p.charges[Idle] += at - p.clock
+				if p.onCharge != nil {
+					p.onCharge(Idle, p.clock, at)
+				}
+				p.clock = at
+				return p.drain()
+			}
+		}
+		p.yield(stateBlocked, Forever)
+	}
+}
+
+// drain removes and returns all messages with arrival <= clock.
+func (p *Proc) drain() []Message {
+	var out []Message
+	for len(p.mailbox) > 0 && p.mailbox[0].Arrival <= p.clock {
+		out = append(out, p.mailbox.pop())
+	}
+	return out
+}
+
+// yield transfers control to the engine. For stateReady, wake is the time at
+// which the process wants to continue; for stateBlocked the engine computes
+// the wake time from the mailbox.
+func (p *Proc) yield(s procState, wake Time) {
+	p.state = s
+	p.wake = wake
+	if s == stateBlocked {
+		if len(p.mailbox) > 0 {
+			p.wake = p.mailbox[0].Arrival
+		}
+	}
+	p.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Engine drives a set of processes to completion in virtual time.
+type Engine struct {
+	procs []*Proc
+	seq   uint64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Spawn registers a new process whose body is fn. Processes start at time 0.
+// Spawn must be called before Run.
+func (e *Engine) Spawn(fn func(p *Proc)) *Proc {
+	p := &Proc{
+		id:      len(e.procs),
+		eng:     e,
+		state:   stateReady,
+		wake:    0,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		fn(p)
+		p.state = stateDone
+		p.yielded <- struct{}{}
+	}()
+	return p
+}
+
+// Run executes all processes until every one has returned. It returns the
+// makespan: the largest final clock across processes. Run panics on deadlock
+// (all processes blocked with empty mailboxes).
+func (e *Engine) Run() Time {
+	for {
+		p := e.next()
+		if p == nil {
+			break
+		}
+		if p.wake == Forever {
+			panic("sim: deadlock — all processes blocked with no pending messages " + e.describe())
+		}
+		if p.wake > p.clock {
+			// Blocked process woken by a message arrival: the gap is idle.
+			p.charges[Idle] += p.wake - p.clock
+			if p.onCharge != nil {
+				p.onCharge(Idle, p.clock, p.wake)
+			}
+			p.clock = p.wake
+		}
+		p.horizon = e.horizonFor(p.id)
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		<-p.yielded
+	}
+	var makespan Time
+	for _, p := range e.procs {
+		if p.clock > makespan {
+			makespan = p.clock
+		}
+	}
+	return makespan
+}
+
+// next picks the live process with the smallest wake time (ties by id), or
+// nil if all processes are done.
+func (e *Engine) next() *Proc {
+	var best *Proc
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		// A blocked process may have received mail since it yielded.
+		if p.state == stateBlocked && len(p.mailbox) > 0 && p.mailbox[0].Arrival < p.wake {
+			p.wake = p.mailbox[0].Arrival
+		}
+		if best == nil || p.wake < best.wake {
+			best = p
+		}
+	}
+	return best
+}
+
+// horizonFor computes the smallest wake time among live processes other than
+// id.
+func (e *Engine) horizonFor(id int) Time {
+	h := Forever
+	for _, q := range e.procs {
+		if q.id == id || q.state == stateDone {
+			continue
+		}
+		w := q.wake
+		if q.state == stateBlocked && len(q.mailbox) > 0 && q.mailbox[0].Arrival < w {
+			w = q.mailbox[0].Arrival
+		}
+		if w < h {
+			h = w
+		}
+	}
+	return h
+}
+
+// describe summarizes process states for deadlock diagnostics.
+func (e *Engine) describe() string {
+	type row struct {
+		id    int
+		clock Time
+		state procState
+		mail  int
+	}
+	rows := make([]row, 0, len(e.procs))
+	for _, p := range e.procs {
+		rows = append(rows, row{p.id, p.clock, p.state, len(p.mailbox)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	s := ""
+	for _, r := range rows {
+		s += fmt.Sprintf("[proc %d clock=%d state=%d mail=%d]", r.id, r.clock, r.state, r.mail)
+	}
+	return s
+}
+
+// Procs returns the engine's processes (for stats collection after Run).
+func (e *Engine) Procs() []*Proc { return e.procs }

@@ -1,0 +1,210 @@
+// Package stats collects and merges execution statistics from simulated
+// runs: per-node cycle breakdowns (the paper's idle / communication overhead
+// / local computation split), message traffic, and runtime-level counters
+// (outstanding threads, fetch and reuse counts, aggregation sizes).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"dpa/internal/machine"
+	"dpa/internal/sim"
+)
+
+// Breakdown is one node's accumulated costs.
+type Breakdown struct {
+	Cycles      [sim.NumCategories]sim.Time
+	MsgsSent    int64
+	BytesSent   int64
+	MsgsRecv    int64
+	BytesRecv   int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Busy returns all non-idle cycles.
+func (b *Breakdown) Busy() sim.Time {
+	var t sim.Time
+	for c, v := range b.Cycles {
+		if sim.Category(c) != sim.Idle {
+			t += v
+		}
+	}
+	return t
+}
+
+// CommOverhead returns cycles spent on messaging mechanics.
+func (b *Breakdown) CommOverhead() sim.Time {
+	return b.Cycles[sim.SendOv] + b.Cycles[sim.RecvOv] + b.Cycles[sim.PollOv] + b.Cycles[sim.HandlerOv]
+}
+
+// Local returns cycles of local computation, including memory-system and
+// runtime scheduling costs (and hashing, for the caching runtime).
+func (b *Breakdown) Local() sim.Time {
+	return b.Cycles[sim.Compute] + b.Cycles[sim.MemOv] + b.Cycles[sim.SchedOv] + b.Cycles[sim.HashOv]
+}
+
+// add accumulates o into b.
+func (b *Breakdown) add(o Breakdown) {
+	for c := range b.Cycles {
+		b.Cycles[c] += o.Cycles[c]
+	}
+	b.MsgsSent += o.MsgsSent
+	b.BytesSent += o.BytesSent
+	b.MsgsRecv += o.MsgsRecv
+	b.BytesRecv += o.BytesRecv
+	b.CacheHits += o.CacheHits
+	b.CacheMisses += o.CacheMisses
+}
+
+// HitRate returns the data-cache model hit rate (0 when untouched).
+func (b *Breakdown) HitRate() float64 {
+	total := b.CacheHits + b.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.CacheHits) / float64(total)
+}
+
+// RTStats are runtime-level counters reported by the DPA/caching/blocking
+// runtimes (summed over nodes when merged).
+type RTStats struct {
+	// ThreadsRun counts executed non-blocking threads.
+	ThreadsRun int64
+	// Spawns counts thread-creation sites executed.
+	Spawns int64
+	// LocalHits counts spawns whose pointer was local or replicated.
+	LocalHits int64
+	// Reuses counts spawns satisfied by an already-arrived (or cached) copy
+	// without a new request.
+	Reuses int64
+	// Fetches counts distinct objects requested from remote owners.
+	Fetches int64
+	// ReqMsgs counts request messages (Fetches/ReqMsgs = aggregation factor).
+	ReqMsgs int64
+	// PeakOutstanding is the peak count of suspended threads (max over
+	// nodes of |M| entries times waiters plus the ready queue).
+	PeakOutstanding int64
+	// PeakArrivedBytes is the peak bytes of renamed (arrived) object copies
+	// held at once — the memory cost of a strip.
+	PeakArrivedBytes int64
+}
+
+// merge combines counters from another node or phase.
+func (r *RTStats) merge(o RTStats) {
+	r.ThreadsRun += o.ThreadsRun
+	r.Spawns += o.Spawns
+	r.LocalHits += o.LocalHits
+	r.Reuses += o.Reuses
+	r.Fetches += o.Fetches
+	r.ReqMsgs += o.ReqMsgs
+	if o.PeakOutstanding > r.PeakOutstanding {
+		r.PeakOutstanding = o.PeakOutstanding
+	}
+	if o.PeakArrivedBytes > r.PeakArrivedBytes {
+		r.PeakArrivedBytes = o.PeakArrivedBytes
+	}
+}
+
+// Run is the result of one simulated phase (or the merge of several).
+type Run struct {
+	Makespan sim.Time
+	Nodes    []Breakdown
+	RT       RTStats
+	// Timeline is the activity trace when the machine config enabled it
+	// (Config.TraceBins > 0). When phases are merged, the latest phase's
+	// timeline is kept.
+	Timeline *machine.Timeline
+}
+
+// Collect gathers per-node breakdowns from a machine after Run.
+func Collect(m *machine.Machine, makespan sim.Time) Run {
+	r := Run{Makespan: makespan, Nodes: make([]Breakdown, len(m.Nodes())), Timeline: m.Trace()}
+	for i, n := range m.Nodes() {
+		r.Nodes[i] = Breakdown{
+			Cycles:      n.Charges(),
+			MsgsSent:    n.MsgsSent,
+			BytesSent:   n.BytesSent,
+			MsgsRecv:    n.MsgsRecv,
+			BytesRecv:   n.BytesRecv,
+			CacheHits:   n.CacheHits,
+			CacheMisses: n.CacheMisses,
+		}
+	}
+	return r
+}
+
+// Merge accumulates another phase into r: makespans add (phases run back to
+// back), node breakdowns add elementwise, runtime counters merge.
+func (r *Run) Merge(o Run) {
+	r.Makespan += o.Makespan
+	if r.Nodes == nil {
+		r.Nodes = make([]Breakdown, len(o.Nodes))
+	}
+	if len(r.Nodes) != len(o.Nodes) {
+		panic(fmt.Sprintf("stats: merging runs with %d and %d nodes", len(r.Nodes), len(o.Nodes)))
+	}
+	for i := range o.Nodes {
+		r.Nodes[i].add(o.Nodes[i])
+	}
+	r.RT.merge(o.RT)
+	if o.Timeline != nil {
+		r.Timeline = o.Timeline
+	}
+}
+
+// MergeRT folds one node's runtime counters into the run.
+func (r *Run) MergeRT(o RTStats) { r.RT.merge(o) }
+
+// Total returns the cluster-wide breakdown (sum over nodes).
+func (r *Run) Total() Breakdown {
+	var t Breakdown
+	for i := range r.Nodes {
+		t.add(r.Nodes[i])
+	}
+	return t
+}
+
+// AvgPerNode returns the average per-node cycles in each of the three
+// paper-figure categories: local computation, communication overhead, idle.
+func (r *Run) AvgPerNode() (local, comm, idle sim.Time) {
+	if len(r.Nodes) == 0 {
+		return 0, 0, 0
+	}
+	t := r.Total()
+	n := sim.Time(len(r.Nodes))
+	return t.Local() / n, t.CommOverhead() / n, t.Cycles[sim.Idle] / n
+}
+
+// MsgsSent returns total messages sent across nodes.
+func (r *Run) MsgsSent() int64 { return r.Total().MsgsSent }
+
+// BytesSent returns total bytes sent across nodes.
+func (r *Run) BytesSent() int64 { return r.Total().BytesSent }
+
+// Summary renders a one-line summary at the given clock rate.
+func (r *Run) Summary(clockHz float64) string {
+	local, comm, idle := r.AvgPerNode()
+	sec := func(t sim.Time) float64 { return float64(t) / clockHz }
+	return fmt.Sprintf("time=%.4fs local=%.4fs comm=%.4fs idle=%.4fs msgs=%d bytes=%d",
+		sec(r.Makespan), sec(local), sec(comm), sec(idle), r.MsgsSent(), r.BytesSent())
+}
+
+// BarChart renders a textual stacked bar of the local/comm/idle breakdown,
+// in the spirit of the paper's figures. width is the bar length in runes for
+// the makespan.
+func (r *Run) BarChart(width int) string {
+	local, comm, idle := r.AvgPerNode()
+	total := local + comm + idle
+	if total == 0 {
+		return strings.Repeat(".", width)
+	}
+	n := func(t sim.Time) int { return int(int64(t) * int64(width) / int64(total)) }
+	l, c := n(local), n(comm)
+	i := width - l - c
+	if i < 0 {
+		i = 0
+	}
+	return strings.Repeat("#", l) + strings.Repeat("+", c) + strings.Repeat(".", i)
+}

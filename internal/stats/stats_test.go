@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"dpa/internal/machine"
+	"dpa/internal/sim"
+)
+
+func TestBreakdownCategories(t *testing.T) {
+	var b Breakdown
+	b.Cycles[sim.Compute] = 100
+	b.Cycles[sim.MemOv] = 10
+	b.Cycles[sim.SchedOv] = 5
+	b.Cycles[sim.HashOv] = 3
+	b.Cycles[sim.SendOv] = 7
+	b.Cycles[sim.RecvOv] = 2
+	b.Cycles[sim.PollOv] = 1
+	b.Cycles[sim.HandlerOv] = 4
+	b.Cycles[sim.Idle] = 50
+	if b.Local() != 118 {
+		t.Errorf("Local = %d", b.Local())
+	}
+	if b.CommOverhead() != 14 {
+		t.Errorf("CommOverhead = %d", b.CommOverhead())
+	}
+	if b.Busy() != 132 {
+		t.Errorf("Busy = %d", b.Busy())
+	}
+}
+
+func TestMergeAddsMakespansAndCycles(t *testing.T) {
+	a := Run{Makespan: 100, Nodes: make([]Breakdown, 2)}
+	a.Nodes[0].Cycles[sim.Compute] = 10
+	a.Nodes[0].MsgsSent = 3
+	b := Run{Makespan: 50, Nodes: make([]Breakdown, 2)}
+	b.Nodes[0].Cycles[sim.Compute] = 5
+	b.Nodes[1].BytesSent = 77
+	a.Merge(b)
+	if a.Makespan != 150 {
+		t.Errorf("makespan = %d", a.Makespan)
+	}
+	if a.Nodes[0].Cycles[sim.Compute] != 15 || a.Nodes[0].MsgsSent != 3 {
+		t.Errorf("node 0 merge wrong: %+v", a.Nodes[0])
+	}
+	if a.Nodes[1].BytesSent != 77 {
+		t.Errorf("node 1 merge wrong")
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a Run
+	b := Run{Makespan: 10, Nodes: make([]Breakdown, 3)}
+	a.Merge(b)
+	if a.Makespan != 10 || len(a.Nodes) != 3 {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+}
+
+func TestMergeMismatchedPanics(t *testing.T) {
+	a := Run{Nodes: make([]Breakdown, 2)}
+	b := Run{Nodes: make([]Breakdown, 3)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestRTStatsMerge(t *testing.T) {
+	a := RTStats{ThreadsRun: 10, Fetches: 5, PeakOutstanding: 7, PeakArrivedBytes: 100}
+	b := RTStats{ThreadsRun: 20, Fetches: 2, PeakOutstanding: 3, PeakArrivedBytes: 300}
+	a.merge(b)
+	if a.ThreadsRun != 30 || a.Fetches != 7 {
+		t.Errorf("sums wrong: %+v", a)
+	}
+	if a.PeakOutstanding != 7 || a.PeakArrivedBytes != 300 {
+		t.Errorf("peaks wrong: %+v", a)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	m := machine.New(machine.DefaultT3D(2))
+	makespan := m.Run(func(n *machine.Node) {
+		n.Charge(sim.Compute, sim.Time(100*(n.ID()+1)))
+		if n.ID() == 0 {
+			n.Send(1, 0, nil, 10)
+		} else {
+			n.WaitMessage()
+		}
+	})
+	r := Collect(m, makespan)
+	if len(r.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(r.Nodes))
+	}
+	if r.Nodes[0].Cycles[sim.Compute] != 100 || r.Nodes[1].Cycles[sim.Compute] != 200 {
+		t.Errorf("compute cycles wrong")
+	}
+	if r.MsgsSent() != 1 || r.BytesSent() != 10 {
+		t.Errorf("message totals wrong: %d/%d", r.MsgsSent(), r.BytesSent())
+	}
+}
+
+func TestAvgPerNode(t *testing.T) {
+	r := Run{Nodes: make([]Breakdown, 2)}
+	r.Nodes[0].Cycles[sim.Compute] = 100
+	r.Nodes[1].Cycles[sim.Compute] = 300
+	r.Nodes[0].Cycles[sim.SendOv] = 20
+	r.Nodes[1].Cycles[sim.Idle] = 40
+	local, comm, idle := r.AvgPerNode()
+	if local != 200 || comm != 10 || idle != 20 {
+		t.Errorf("avg = %d/%d/%d", local, comm, idle)
+	}
+}
+
+func TestBarChartProportions(t *testing.T) {
+	r := Run{Nodes: make([]Breakdown, 1)}
+	r.Nodes[0].Cycles[sim.Compute] = 50
+	r.Nodes[0].Cycles[sim.SendOv] = 25
+	r.Nodes[0].Cycles[sim.Idle] = 25
+	bar := r.BarChart(40)
+	if len([]rune(bar)) != 40 {
+		t.Fatalf("bar length %d", len(bar))
+	}
+	if strings.Count(bar, "#") != 20 || strings.Count(bar, "+") != 10 || strings.Count(bar, ".") != 10 {
+		t.Errorf("bar = %q", bar)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	var r Run
+	if got := r.BarChart(10); got != ".........." {
+		t.Errorf("empty bar = %q", got)
+	}
+}
+
+func TestSummaryContainsFields(t *testing.T) {
+	r := Run{Makespan: 150e6, Nodes: make([]Breakdown, 1)}
+	s := r.Summary(150e6)
+	for _, tok := range []string{"time=1.0000s", "msgs=0", "idle"} {
+		if !strings.Contains(s, tok) {
+			t.Errorf("summary %q missing %q", s, tok)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package tpart
+
+import (
+	"fmt"
+	"strings"
+
+	"dpa/internal/pdg"
+)
+
+// Describe renders a compiled program's functions and thread templates in a
+// compact human-readable form, for demos and debugging.
+func Describe(c *Compiled) string {
+	var sb strings.Builder
+	for _, name := range sortedFuncNames(c) {
+		cf := c.Funcs[name]
+		fmt.Fprintf(&sb, "func %s(%s):\n", cf.Name, strings.Join(cf.Params, ", "))
+		writeOps(&sb, cf.Entry, "  ")
+	}
+	for _, t := range c.Templates {
+		fmt.Fprintf(&sb, "template %d (in %s) labeled %q:\n", t.ID, t.Fn, t.Label)
+		for _, h := range t.Hoisted {
+			fmt.Fprintf(&sb, "  hoist %s = %s->%s\n", h.Dst, h.Ptr, h.Field)
+		}
+		writeOps(&sb, t.Body, "  ")
+	}
+	return sb.String()
+}
+
+func sortedFuncNames(c *Compiled) []string {
+	names := make([]string, 0, len(c.Funcs))
+	for n := range c.Funcs {
+		names = append(names, n)
+	}
+	// Entry first, then lexicographic.
+	for i, n := range names {
+		if n == c.Prog.Entry {
+			names[0], names[i] = names[i], names[0]
+			break
+		}
+	}
+	rest := names[1:]
+	for i := 0; i < len(rest); i++ {
+		for j := i + 1; j < len(rest); j++ {
+			if rest[j] < rest[i] {
+				rest[i], rest[j] = rest[j], rest[i]
+			}
+		}
+	}
+	return names
+}
+
+func writeOps(sb *strings.Builder, ops []Op, indent string) {
+	for _, op := range ops {
+		switch o := op.(type) {
+		case OpAssign:
+			fmt.Fprintf(sb, "%s%s = %s\n", indent, o.Dst, exprString(o.E))
+		case OpWork:
+			fmt.Fprintf(sb, "%swork(%d)\n", indent, o.Cost)
+		case OpAccum:
+			fmt.Fprintf(sb, "%s%s += %s\n", indent, o.Target, exprString(o.E))
+		case OpIf:
+			fmt.Fprintf(sb, "%sif %s:\n", indent, exprString(o.Cond))
+			writeOps(sb, o.Then, indent+"  ")
+			if len(o.Else) > 0 {
+				fmt.Fprintf(sb, "%selse:\n", indent)
+				writeOps(sb, o.Else, indent+"  ")
+			}
+		case OpWhile:
+			fmt.Fprintf(sb, "%swhile %s:\n", indent, exprString(o.Cond))
+			writeOps(sb, o.Body, indent+"  ")
+		case OpConcFor:
+			fmt.Fprintf(sb, "%sconc for %s < %s:\n", indent, o.Var, exprString(o.N))
+			writeOps(sb, o.Body, indent+"  ")
+		case OpSpawn:
+			fmt.Fprintf(sb, "%sspawn template %d on %s\n", indent, o.T.ID, exprString(o.Ptr))
+		case OpCall:
+			args := make([]string, len(o.Args))
+			for i, a := range o.Args {
+				args[i] = exprString(a)
+			}
+			fmt.Fprintf(sb, "%scall %s(%s)\n", indent, o.Fn.Name, strings.Join(args, ", "))
+		}
+	}
+}
+
+func exprString(e pdg.Expr) string {
+	switch x := e.(type) {
+	case pdg.V:
+		return x.Name
+	case pdg.C:
+		return fmt.Sprintf("%v", x.Val)
+	case pdg.Bin:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.L), x.Op, exprString(x.R))
+	case pdg.Index:
+		return fmt.Sprintf("%s[%s]", exprString(x.Arr), exprString(x.Idx))
+	case pdg.IsNil:
+		return fmt.Sprintf("isnil(%s)", exprString(x.E))
+	case pdg.Not:
+		return fmt.Sprintf("!%s", exprString(x.E))
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -1,0 +1,148 @@
+package tpart
+
+import (
+	"fmt"
+
+	"dpa/internal/driver"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+	"dpa/internal/pdg"
+	"dpa/internal/sim"
+)
+
+// Exec runs a partitioned program on a runtime. Thread creation snapshots
+// the environment (the paper's explicit renaming), so a spawned thread sees
+// the values live at its creation site.
+type Exec struct {
+	C    *Compiled
+	RT   driver.Runtime
+	Node *machine.Node
+	Res  *pdg.Result
+	// topLevel marks whether the next ConcFor encountered is the
+	// function-entry loop to strip-mine via the runtime.
+	topLevel bool
+}
+
+// Run executes the program's entry function on the runtime with the given
+// arguments and drains all threads. Each node runs its own Exec; the caller
+// decides which iterations belong to which node (or runs everything on one).
+func Run(c *Compiled, rt driver.Runtime, node *machine.Node, res *pdg.Result, args ...pdg.Value) {
+	x := &Exec{C: c, RT: rt, Node: node, Res: res, topLevel: true}
+	fn := c.Funcs[c.Prog.Entry]
+	if fn == nil {
+		panic(fmt.Sprintf("tpart: no entry function %q", c.Prog.Entry))
+	}
+	env := make(pdg.Env, len(args))
+	if len(args) != len(fn.Params) {
+		panic(fmt.Sprintf("tpart: %s expects %d args, got %d", fn.Name, len(fn.Params), len(args)))
+	}
+	for i, p := range fn.Params {
+		env[p] = args[i]
+	}
+	x.runOps(fn.Entry, env)
+	rt.Drain()
+}
+
+// charge accounts abstract work to the node, when running simulated.
+func (x *Exec) charge(cost int64) {
+	x.Res.Work += cost
+	if x.Node != nil {
+		x.Node.Charge(sim.Compute, sim.Time(cost))
+	}
+}
+
+func (x *Exec) runOps(ops []Op, env pdg.Env) {
+	for _, op := range ops {
+		switch o := op.(type) {
+		case OpAssign:
+			env[o.Dst] = pdg.Eval(o.E, env)
+		case OpWork:
+			x.charge(o.Cost)
+		case OpAccum:
+			x.Res.Add(o.Target, pdg.AsFloat(pdg.Eval(o.E, env)))
+		case OpIf:
+			if pdg.Eval(o.Cond, env).(bool) {
+				x.runOps(o.Then, env)
+			} else {
+				x.runOps(o.Else, env)
+			}
+		case OpWhile:
+			for pdg.Eval(o.Cond, env).(bool) {
+				x.runOps(o.Body, env)
+			}
+		case OpConcFor:
+			n := pdg.AsInt(pdg.Eval(o.N, env))
+			if x.topLevel {
+				// The entry function's top-level conc loop is the one the
+				// runtime strip-mines (k-bounded admission).
+				x.topLevel = false
+				x.RT.ForAll(int(n), func(i int) {
+					env[o.Var] = int64(i)
+					x.runOps(o.Body, env)
+				})
+				continue
+			}
+			for i := int64(0); i < n; i++ {
+				env[o.Var] = i
+				x.runOps(o.Body, env)
+			}
+		case OpSpawn:
+			x.spawn(o.T, pdg.Eval(o.Ptr, env).(gptr.Ptr), env)
+		case OpCall:
+			callee := make(pdg.Env, len(o.Args))
+			for i, a := range o.Args {
+				callee[o.Fn.Params[i]] = pdg.Eval(a, env)
+			}
+			saved := x.topLevel
+			x.topLevel = false
+			x.runOps(o.Fn.Entry, callee)
+			x.topLevel = saved
+		default:
+			panic(fmt.Sprintf("tpart: unknown op %T", op))
+		}
+	}
+}
+
+// spawn hands a template to the runtime, labeled with p, with a renamed
+// (snapshotted) environment. When the object arrives the hoisted loads bind
+// their destinations and the body runs.
+func (x *Exec) spawn(t *Template, p gptr.Ptr, env pdg.Env) {
+	if p.IsNil() {
+		panic(fmt.Sprintf("tpart: template %d (%s) spawned with nil %q", t.ID, t.Fn, t.Label))
+	}
+	snapshot := env.Clone()
+	x.RT.Spawn(p, func(obj gptr.Object) {
+		rec, ok := obj.(*pdg.Record)
+		if !ok {
+			panic(fmt.Sprintf("tpart: object for %s is %T, want *pdg.Record", t.Label, obj))
+		}
+		for _, h := range t.Hoisted {
+			v, ok := rec.F[h.Field]
+			if !ok {
+				panic(fmt.Sprintf("tpart: record lacks field %q", h.Field))
+			}
+			snapshot[h.Dst] = v
+		}
+		x.runOps(t.Body, snapshot)
+	})
+}
+
+// Validate checks the structural invariants the paper requires of the
+// partitioning: every hoisted load targets its template's label (modulo
+// alias classes) and template bodies contain no load operations at all
+// (they are non-blocking by construction). It returns the number of
+// templates checked.
+func Validate(c *Compiled) (int, error) {
+	for _, t := range c.Templates {
+		if t.Label == "" {
+			return 0, fmt.Errorf("template %d (%s) has no label", t.ID, t.Fn)
+		}
+		for _, h := range t.Hoisted {
+			if c.class(h.Ptr) != c.class(t.Label) {
+				return 0, fmt.Errorf("template %d (%s): hoisted load of %q but label is %q",
+					t.ID, t.Fn, h.Ptr, t.Label)
+			}
+		}
+	}
+	return len(c.Templates), nil
+}

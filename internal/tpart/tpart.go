@@ -1,0 +1,375 @@
+// Package tpart implements the paper's compiler transformation: it
+// partitions pdg programs into pointer-labeled non-blocking threads
+// (Section 4). Each global-pointer load either targets the thread's label
+// pointer — and is hoisted to thread entry ("access hoisting") — or starts
+// a new thread labeled with the loaded pointer, with the dependent remainder
+// of the computation as that thread's body. Statements independent of the
+// split-off continuation stay in the creating thread (the paper's
+// transitive expansion, which enlarges threads and overlaps the fetch with
+// local work). Recursive calls become thread creations at the callee's
+// entry ("function promotion"), and data-dependent while loops over a
+// traversal pointer become self-spawning thread chains.
+//
+// The result runs on any of the runtimes via package driver; tests check it
+// against the sequential reference interpreter in package pdg.
+package tpart
+
+import (
+	"fmt"
+
+	"dpa/internal/pdg"
+)
+
+// Template is one non-blocking thread shape: a label pointer variable whose
+// object is delivered at entry, the loads hoisted from that object, and a
+// body free of global loads.
+type Template struct {
+	ID      int
+	Fn      string
+	Label   string
+	Hoisted []pdg.GLoad
+	Body    []Op
+}
+
+// Op is an executable, non-blocking operation.
+type Op interface{ op() }
+
+// OpAssign evaluates an expression into a variable.
+type OpAssign struct {
+	Dst string
+	E   pdg.Expr
+}
+
+// OpWork charges abstract computation.
+type OpWork struct{ Cost int64 }
+
+// OpAccum accumulates into a global accumulator.
+type OpAccum struct {
+	Target string
+	E      pdg.Expr
+}
+
+// OpIf branches locally.
+type OpIf struct {
+	Cond pdg.Expr
+	Then []Op
+	Else []Op
+}
+
+// OpWhile is a purely local loop (no global loads in its body).
+type OpWhile struct {
+	Cond pdg.Expr
+	Body []Op
+}
+
+// OpConcFor runs a concurrency-annotated loop; its body may spawn. At the
+// top level of the entry function it is strip-mined by the runtime.
+type OpConcFor struct {
+	Var  string
+	N    pdg.Expr
+	Body []Op
+}
+
+// OpSpawn creates a thread: evaluate Ptr, snapshot the environment, and
+// hand the template to the runtime labeled with that pointer.
+type OpSpawn struct {
+	T   *Template
+	Ptr pdg.Expr
+}
+
+// OpCall invokes a compiled function inline (its entry section is
+// non-blocking; anything blocking inside it has already been split into
+// spawned templates).
+type OpCall struct {
+	Fn   *CFunc
+	Args []pdg.Expr
+}
+
+func (OpAssign) op()  {}
+func (OpWork) op()    {}
+func (OpAccum) op()   {}
+func (OpIf) op()      {}
+func (OpWhile) op()   {}
+func (OpConcFor) op() {}
+func (OpSpawn) op()   {}
+func (OpCall) op()    {}
+
+// CFunc is a compiled function: its entry ops run inline at the call site.
+type CFunc struct {
+	Name   string
+	Params []string
+	Entry  []Op
+}
+
+// Compiled is a partitioned program.
+type Compiled struct {
+	Prog      *pdg.Program
+	Funcs     map[string]*CFunc
+	Templates []*Template
+	// Aliases maps pointer variables to alias classes; loads of any
+	// variable in the label's class are hoisted. Identity by default.
+	Aliases map[string]string
+}
+
+// Compile partitions every function of the program. aliases may be nil.
+func Compile(prog *pdg.Program, aliases map[string]string) *Compiled {
+	c := &Compiled{
+		Prog:    prog,
+		Funcs:   map[string]*CFunc{},
+		Aliases: aliases,
+	}
+	// Pre-create function shells so recursion can reference them.
+	for name, f := range prog.Funcs {
+		c.Funcs[name] = &CFunc{Name: name, Params: f.Params}
+	}
+	for name, f := range prog.Funcs {
+		cf := c.Funcs[name]
+		cc := &fnCompiler{c: c, fn: name}
+		cf.Entry = cc.seq(f.Body, "", nil)
+	}
+	return c
+}
+
+// class returns the alias class of a pointer variable.
+func (c *Compiled) class(v string) string {
+	if c.Aliases != nil {
+		if cl, ok := c.Aliases[v]; ok {
+			return cl
+		}
+	}
+	return v
+}
+
+// newTemplate registers a template.
+func (c *Compiled) newTemplate(fn, label string) *Template {
+	t := &Template{ID: len(c.Templates), Fn: fn, Label: label}
+	c.Templates = append(c.Templates, t)
+	return t
+}
+
+// fnCompiler compiles one function.
+type fnCompiler struct {
+	c  *Compiled
+	fn string
+}
+
+// seq compiles a statement list into ops for a thread whose label is
+// `label`, hoisting label-class loads into hoist (may be nil for the
+// function entry, which must then contain no hoistable loads). When a
+// non-label load is found, the dependent remainder becomes a new template
+// and independent statements stay in the current thread.
+func (fc *fnCompiler) seq(stmts []pdg.Stmt, label string, t *Template) []Op {
+	var ops []Op
+	for i := 0; i < len(stmts); i++ {
+		switch s := stmts[i].(type) {
+		case pdg.GLoad:
+			if label != "" && fc.c.class(s.Ptr) == fc.c.class(label) {
+				// Access hoisting: served by the object delivered at entry.
+				t.Hoisted = append(t.Hoisted, s)
+				continue
+			}
+			// Split: the remainder that depends on this load — or on the
+			// pointer itself, which covers all later loads of the same
+			// object (alias-based hoisting into one larger thread) —
+			// becomes a new thread labeled with the pointer; independent
+			// statements stay in the creating thread.
+			dep, indep := fc.splitDependence(stmts[i:], s.Ptr, s.Dst)
+			nt := fc.c.newTemplate(fc.fn, s.Ptr)
+			nt.Body = fc.seq(dep, s.Ptr, nt)
+			ops = append(ops, OpSpawn{T: nt, Ptr: pdg.V{Name: s.Ptr}})
+			ops = append(ops, fc.seq(indep, label, t)...)
+			return ops
+		case pdg.Assign:
+			ops = append(ops, OpAssign{Dst: s.Dst, E: s.E})
+		case pdg.Work:
+			ops = append(ops, OpWork{Cost: s.Cost})
+		case pdg.Accum:
+			ops = append(ops, OpAccum{Target: s.Target, E: s.E})
+		case pdg.Call:
+			ops = append(ops, OpCall{Fn: fc.c.Funcs[s.Fn], Args: s.Args})
+		case pdg.If:
+			ops = append(ops, OpIf{
+				Cond: s.Cond,
+				Then: fc.branch(s.Then, label, t),
+				Else: fc.branch(s.Else, label, t),
+			})
+		case pdg.ConcFor:
+			ops = append(ops, OpConcFor{
+				Var:  s.Var,
+				N:    s.N,
+				Body: fc.seq(s.Body, label, t),
+			})
+		case pdg.While:
+			ops = append(ops, fc.while(s, label)...)
+		default:
+			panic(fmt.Sprintf("tpart: unknown stmt %T", s))
+		}
+	}
+	return ops
+}
+
+// branch compiles an if-branch. Branches may spawn (calls, label loads) but
+// may not contain non-hoistable loads: a split inside a branch would leave
+// the join point unordered relative to the continuation.
+func (fc *fnCompiler) branch(stmts []pdg.Stmt, label string, t *Template) []Op {
+	for _, s := range stmts {
+		if g, ok := s.(pdg.GLoad); ok {
+			if label == "" || fc.c.class(g.Ptr) != fc.c.class(label) {
+				panic(fmt.Sprintf(
+					"tpart: %s: global load of %q inside a branch cannot be hoisted or split; lift it out of the branch or wrap it in a function call",
+					fc.fn, g.Ptr))
+			}
+		}
+	}
+	return fc.seq(stmts, label, t)
+}
+
+// while compiles a data-dependent loop. A loop whose body performs global
+// loads must be a pointer traversal: all loads target one loop-carried
+// pointer variable. It becomes a self-spawning thread chain.
+func (fc *fnCompiler) while(s pdg.While, label string) []Op {
+	tp := traversalPtr(s.Body)
+	if tp == "" {
+		// Purely local loop.
+		return []Op{OpWhile{Cond: s.Cond, Body: fc.seq(s.Body, label, nil)}}
+	}
+	lt := fc.c.newTemplate(fc.fn, tp)
+	body := fc.seq(s.Body, tp, lt)
+	// Back edge: after the body updates the traversal pointer, continue the
+	// chain while the condition holds.
+	lt.Body = append(body, OpIf{
+		Cond: s.Cond,
+		Then: []Op{OpSpawn{T: lt, Ptr: pdg.V{Name: tp}}},
+	})
+	// Loop entry.
+	return []Op{OpIf{
+		Cond: s.Cond,
+		Then: []Op{OpSpawn{T: lt, Ptr: pdg.V{Name: tp}}},
+	}}
+}
+
+// traversalPtr returns the single pointer variable loaded by the loop body,
+// "" if the body performs no global loads, and panics if the body loads
+// multiple distinct pointers (not a traversal).
+func traversalPtr(body []pdg.Stmt) string {
+	ptrs := map[string]bool{}
+	var scan func(ss []pdg.Stmt)
+	scan = func(ss []pdg.Stmt) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case pdg.GLoad:
+				ptrs[x.Ptr] = true
+			case pdg.If:
+				scan(x.Then)
+				scan(x.Else)
+			case pdg.While:
+				scan(x.Body)
+			case pdg.ConcFor:
+				scan(x.Body)
+			}
+		}
+	}
+	scan(body)
+	if len(ptrs) == 0 {
+		return ""
+	}
+	if len(ptrs) > 1 {
+		panic(fmt.Sprintf("tpart: while loop traverses multiple pointers %v; split the loop", keys(ptrs)))
+	}
+	for p := range ptrs {
+		return p
+	}
+	return ""
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// splitDependence partitions the statements (the first of which is the
+// splitting load of ptrVar defining seedVar) into the dependent remainder
+// (goes into the new thread) and independent trailing statements (stay in
+// the creating thread, the paper's transitive expansion). Dependence is
+// transitive def/use over both the loaded value and the pointer itself —
+// computed modulo alias classes, so later loads of any alias of the pointer
+// move into the new thread and hoist together; control statements are
+// dependent if any nested part is.
+func (fc *fnCompiler) splitDependence(stmts []pdg.Stmt, ptrVar, seedVar string) (dep, indep []pdg.Stmt) {
+	tainted := map[string]bool{fc.c.class(ptrVar): true, fc.c.class(seedVar): true}
+	dep = append(dep, stmts[0])
+	for _, s := range stmts[1:] {
+		if fc.dependsOn(s, tainted) {
+			for _, d := range allDefs(s, nil) {
+				tainted[fc.c.class(d)] = true
+			}
+			dep = append(dep, s)
+		} else {
+			indep = append(indep, s)
+		}
+	}
+	return dep, indep
+}
+
+// dependsOn reports whether the statement (including nested bodies) reads
+// any tainted variable or alias class.
+func (fc *fnCompiler) dependsOn(s pdg.Stmt, tainted map[string]bool) bool {
+	for _, u := range allUses(s, nil) {
+		if tainted[fc.c.class(u)] {
+			return true
+		}
+	}
+	return false
+}
+
+// allDefs collects variables defined anywhere within the statement.
+func allDefs(s pdg.Stmt, dst []string) []string {
+	if d := pdg.StmtDefs(s); d != "" {
+		dst = append(dst, d)
+	}
+	switch x := s.(type) {
+	case pdg.If:
+		for _, t := range x.Then {
+			dst = allDefs(t, dst)
+		}
+		for _, t := range x.Else {
+			dst = allDefs(t, dst)
+		}
+	case pdg.While:
+		for _, t := range x.Body {
+			dst = allDefs(t, dst)
+		}
+	case pdg.ConcFor:
+		dst = append(dst, x.Var)
+		for _, t := range x.Body {
+			dst = allDefs(t, dst)
+		}
+	}
+	return dst
+}
+
+// allUses collects variables read anywhere within the statement.
+func allUses(s pdg.Stmt, dst []string) []string {
+	dst = pdg.StmtUses(s, dst)
+	switch x := s.(type) {
+	case pdg.If:
+		for _, t := range x.Then {
+			dst = allUses(t, dst)
+		}
+		for _, t := range x.Else {
+			dst = allUses(t, dst)
+		}
+	case pdg.While:
+		for _, t := range x.Body {
+			dst = allUses(t, dst)
+		}
+	case pdg.ConcFor:
+		for _, t := range x.Body {
+			dst = allUses(t, dst)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,333 @@
+package tpart
+
+import (
+	"math"
+	"testing"
+
+	"dpa/internal/driver"
+	"dpa/internal/fm"
+	"dpa/internal/gptr"
+	"dpa/internal/machine"
+	"dpa/internal/pdg"
+)
+
+// runThreaded compiles prog and runs it on node 0 of an n-node machine
+// under spec (other nodes serve), returning the result.
+func runThreaded(t *testing.T, prog *pdg.Program, space *gptr.Space, nodes int,
+	spec driver.Spec, args ...pdg.Value) *pdg.Result {
+	t.Helper()
+	c := Compile(prog, nil)
+	if _, err := Validate(c); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	res := pdg.NewResult()
+	driver.RunPhase(machine.DefaultT3D(nodes), space, spec,
+		func(rt driver.Runtime, ep *fm.EP, nd *machine.Node) {
+			if nd.ID() == 0 {
+				Run(c, rt, nd, res, args...)
+			}
+		})
+	return res
+}
+
+// checkEquiv runs prog both sequentially and threaded (under all three
+// runtimes, on 1 and 4 nodes) and requires identical accumulators.
+func checkEquiv(t *testing.T, prog *pdg.Program, mkSpace func(nodes int) (*gptr.Space, []pdg.Value), tol float64) {
+	t.Helper()
+	space, args := mkSpace(1)
+	want := pdg.RunSeq(prog, space, args...)
+	for _, nodes := range []int{1, 4} {
+		for _, spec := range []driver.Spec{driver.DPASpec(10), driver.CachingSpec(), driver.BlockingSpec()} {
+			space, args = mkSpace(nodes)
+			got := runThreaded(t, prog, space, nodes, spec, args...)
+			for k, v := range want.Acc {
+				if math.Abs(got.Acc[k]-v) > tol {
+					t.Errorf("%s nodes=%d: acc[%s] = %v, want %v", spec, nodes, k, got.Acc[k], v)
+				}
+			}
+			if got.Work != want.Work {
+				t.Errorf("%s nodes=%d: work = %d, want %d", spec, nodes, got.Work, want.Work)
+			}
+		}
+	}
+}
+
+func listSumProg() *pdg.Program {
+	return &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"head"}, Body: []pdg.Stmt{
+				pdg.Assign{Dst: "p", E: pdg.V{Name: "head"}},
+				pdg.While{
+					Cond: pdg.Not{E: pdg.IsNil{E: pdg.V{Name: "p"}}},
+					Body: []pdg.Stmt{
+						pdg.GLoad{Dst: "v", Ptr: "p", Field: "val"},
+						pdg.Work{Cost: 3, Uses: []string{"v"}},
+						pdg.Accum{Target: "sum", E: pdg.V{Name: "v"}},
+						pdg.GLoad{Dst: "p", Ptr: "p", Field: "next"},
+					},
+				},
+			}},
+		},
+	}
+}
+
+func listSpace(n int) func(nodes int) (*gptr.Space, []pdg.Value) {
+	return func(nodes int) (*gptr.Space, []pdg.Value) {
+		space := gptr.NewSpace(nodes)
+		next := gptr.Nil
+		for i := n; i >= 1; i-- {
+			rec := &pdg.Record{F: map[string]pdg.Value{"val": float64(i), "next": next}}
+			next = space.Alloc((i-1)%nodes, rec)
+		}
+		return space, []pdg.Value{next}
+	}
+}
+
+func TestListTraversalCompiles(t *testing.T) {
+	c := Compile(listSumProg(), nil)
+	if n, err := Validate(c); err != nil || n != 1 {
+		t.Fatalf("templates = %d, err = %v (want 1 loop template)", n, err)
+	}
+	lt := c.Templates[0]
+	if lt.Label != "p" {
+		t.Errorf("loop template label %q", lt.Label)
+	}
+	if len(lt.Hoisted) != 2 {
+		t.Errorf("hoisted %d loads, want 2 (val and next)", len(lt.Hoisted))
+	}
+}
+
+func TestListSumEquivalence(t *testing.T) {
+	checkEquiv(t, listSumProg(), listSpace(60), 1e-9)
+}
+
+func treeProg() *pdg.Program {
+	return &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"root"}, Body: []pdg.Stmt{
+				pdg.Call{Fn: "walk", Args: []pdg.Expr{pdg.V{Name: "root"}}},
+			}},
+			"walk": {Name: "walk", Params: []string{"t"}, Body: []pdg.Stmt{
+				pdg.GLoad{Dst: "v", Ptr: "t", Field: "val"},
+				pdg.Work{Cost: 5, Uses: []string{"v"}},
+				pdg.Accum{Target: "sum", E: pdg.V{Name: "v"}},
+				pdg.GLoad{Dst: "l", Ptr: "t", Field: "left"},
+				pdg.GLoad{Dst: "r", Ptr: "t", Field: "right"},
+				pdg.If{Cond: pdg.Not{E: pdg.IsNil{E: pdg.V{Name: "l"}}},
+					Then: []pdg.Stmt{pdg.Call{Fn: "walk", Args: []pdg.Expr{pdg.V{Name: "l"}}}}},
+				pdg.If{Cond: pdg.Not{E: pdg.IsNil{E: pdg.V{Name: "r"}}},
+					Then: []pdg.Stmt{pdg.Call{Fn: "walk", Args: []pdg.Expr{pdg.V{Name: "r"}}}}},
+			}},
+		},
+	}
+}
+
+func treeSpace(depth int) func(nodes int) (*gptr.Space, []pdg.Value) {
+	return func(nodes int) (*gptr.Space, []pdg.Value) {
+		space := gptr.NewSpace(nodes)
+		var mk func(d, id int) gptr.Ptr
+		mk = func(d, id int) gptr.Ptr {
+			if d == 0 {
+				return gptr.Nil
+			}
+			rec := &pdg.Record{F: map[string]pdg.Value{
+				"val":   float64(id),
+				"left":  mk(d-1, id*2),
+				"right": mk(d-1, id*2+1),
+			}}
+			return space.Alloc(id%nodes, rec)
+		}
+		return space, []pdg.Value{mk(depth, 1)}
+	}
+}
+
+func TestTreeWalkCompiles(t *testing.T) {
+	// Function promotion: walk becomes one thread template labeled t with
+	// all three loads (val, left, right) hoisted — the paper's example of
+	// aliasing-enabled larger threads.
+	c := Compile(treeProg(), nil)
+	if n, err := Validate(c); err != nil || n != 1 {
+		t.Fatalf("templates = %d, err = %v", n, err)
+	}
+	tm := c.Templates[0]
+	if tm.Label != "t" || len(tm.Hoisted) != 3 {
+		t.Fatalf("walk template label=%q hoisted=%d, want t/3", tm.Label, len(tm.Hoisted))
+	}
+	// The entry of walk is just the spawn.
+	if len(c.Funcs["walk"].Entry) != 1 {
+		t.Errorf("walk entry has %d ops, want 1 (spawn)", len(c.Funcs["walk"].Entry))
+	}
+}
+
+func TestTreeWalkEquivalence(t *testing.T) {
+	checkEquiv(t, treeProg(), treeSpace(6), 1e-9)
+}
+
+func concProg() *pdg.Program {
+	return &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"roots", "n"}, Body: []pdg.Stmt{
+				pdg.ConcFor{Var: "i", N: pdg.V{Name: "n"}, Body: []pdg.Stmt{
+					pdg.Assign{Dst: "r", E: pdg.Index{Arr: pdg.V{Name: "roots"}, Idx: pdg.V{Name: "i"}}},
+					pdg.GLoad{Dst: "v", Ptr: "r", Field: "val"},
+					pdg.Work{Cost: 2, Uses: []string{"v"}},
+					pdg.Accum{Target: "sum", E: pdg.Bin{Op: "*", L: pdg.V{Name: "v"}, R: pdg.C{Val: float64(2)}}},
+				}},
+			}},
+		},
+	}
+}
+
+func concSpace(n int) func(nodes int) (*gptr.Space, []pdg.Value) {
+	return func(nodes int) (*gptr.Space, []pdg.Value) {
+		space := gptr.NewSpace(nodes)
+		roots := make([]gptr.Ptr, n)
+		for i := range roots {
+			roots[i] = space.Alloc(i%nodes, &pdg.Record{F: map[string]pdg.Value{"val": float64(i + 1)}})
+		}
+		return space, []pdg.Value{roots, int64(n)}
+	}
+}
+
+func TestConcForEquivalence(t *testing.T) {
+	checkEquiv(t, concProg(), concSpace(80), 1e-9)
+}
+
+func TestTransitiveExpansionKeepsIndependentWork(t *testing.T) {
+	// Statements independent of the split-off continuation must stay in the
+	// creating thread, after the spawn (overlapping the fetch).
+	prog := &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"a", "b"}, Body: []pdg.Stmt{
+				pdg.GLoad{Dst: "v", Ptr: "a", Field: "val"},
+				pdg.Accum{Target: "x", E: pdg.V{Name: "v"}},
+				pdg.Assign{Dst: "w", E: pdg.Bin{Op: "+", L: pdg.V{Name: "b"}, R: pdg.C{Val: int64(1)}}},
+				pdg.Accum{Target: "y", E: pdg.V{Name: "w"}},
+			}},
+		},
+	}
+	c := Compile(prog, nil)
+	entry := c.Funcs["main"].Entry
+	if len(entry) != 3 {
+		t.Fatalf("entry ops = %d, want 3 (spawn + independent assign + accum)", len(entry))
+	}
+	if _, ok := entry[0].(OpSpawn); !ok {
+		t.Errorf("entry[0] = %T, want OpSpawn (fetch issued first)", entry[0])
+	}
+	if _, ok := entry[1].(OpAssign); !ok {
+		t.Errorf("entry[1] = %T, want OpAssign", entry[1])
+	}
+	// And the program still computes the right thing.
+	mk := func(nodes int) (*gptr.Space, []pdg.Value) {
+		space := gptr.NewSpace(nodes)
+		a := space.Alloc(nodes-1, &pdg.Record{F: map[string]pdg.Value{"val": float64(10)}})
+		return space, []pdg.Value{a, int64(5)}
+	}
+	checkEquiv(t, prog, mk, 1e-9)
+}
+
+func TestLocalWhileStaysLocal(t *testing.T) {
+	prog := &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"n"}, Body: []pdg.Stmt{
+				pdg.Assign{Dst: "i", E: pdg.C{Val: int64(0)}},
+				pdg.While{Cond: pdg.Bin{Op: "<", L: pdg.V{Name: "i"}, R: pdg.V{Name: "n"}}, Body: []pdg.Stmt{
+					pdg.Accum{Target: "sum", E: pdg.V{Name: "i"}},
+					pdg.Assign{Dst: "i", E: pdg.Bin{Op: "+", L: pdg.V{Name: "i"}, R: pdg.C{Val: int64(1)}}},
+				}},
+			}},
+		},
+	}
+	c := Compile(prog, nil)
+	if len(c.Templates) != 0 {
+		t.Fatalf("local while created %d templates", len(c.Templates))
+	}
+	mk := func(nodes int) (*gptr.Space, []pdg.Value) { return gptr.NewSpace(nodes), []pdg.Value{int64(10)} }
+	checkEquiv(t, prog, mk, 1e-9)
+}
+
+func TestBranchLoadPanics(t *testing.T) {
+	prog := &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"a"}, Body: []pdg.Stmt{
+				pdg.If{Cond: pdg.C{Val: true}, Then: []pdg.Stmt{
+					pdg.GLoad{Dst: "v", Ptr: "a", Field: "val"},
+				}},
+			}},
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for load inside branch")
+		}
+	}()
+	Compile(prog, nil)
+}
+
+func TestMultiPointerWhilePanics(t *testing.T) {
+	prog := &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"a", "b"}, Body: []pdg.Stmt{
+				pdg.While{Cond: pdg.C{Val: false}, Body: []pdg.Stmt{
+					pdg.GLoad{Dst: "x", Ptr: "a", Field: "val"},
+					pdg.GLoad{Dst: "y", Ptr: "b", Field: "val"},
+				}},
+			}},
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for multi-pointer while")
+		}
+	}()
+	Compile(prog, nil)
+}
+
+func TestAliasClassesHoistTogether(t *testing.T) {
+	// Two pointer variables known to alias the same class hoist into one
+	// thread instead of splitting twice.
+	prog := &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"a"}, Body: []pdg.Stmt{
+				pdg.Assign{Dst: "a2", E: pdg.V{Name: "a"}},
+				pdg.GLoad{Dst: "v", Ptr: "a", Field: "val"},
+				pdg.GLoad{Dst: "w", Ptr: "a2", Field: "val"},
+				pdg.Accum{Target: "sum", E: pdg.Bin{Op: "+", L: pdg.V{Name: "v"}, R: pdg.V{Name: "w"}}},
+			}},
+		},
+	}
+	aliases := map[string]string{"a": "A", "a2": "A"}
+	c := Compile(prog, aliases)
+	if len(c.Templates) != 1 {
+		t.Fatalf("templates = %d, want 1 (aliased loads share a thread)", len(c.Templates))
+	}
+	if len(c.Templates[0].Hoisted) != 2 {
+		t.Fatalf("hoisted = %d, want 2", len(c.Templates[0].Hoisted))
+	}
+}
+
+func TestDPAReordersButCachingAndSeqAgree(t *testing.T) {
+	// A sanity check that the runtimes are interchangeable under the
+	// compiled program even when thread execution orders differ.
+	space, args := concSpace(40)(2)
+	c := Compile(concProg(), nil)
+	res := pdg.NewResult()
+	driver.RunPhase(machine.DefaultT3D(2), space, driver.DPASpec(7),
+		func(rt driver.Runtime, ep *fm.EP, nd *machine.Node) {
+			if nd.ID() == 0 {
+				Run(c, rt, nd, res, args...)
+			}
+		})
+	want := pdg.RunSeq(concProg(), space, args...)
+	if math.Abs(res.Acc["sum"]-want.Acc["sum"]) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", res.Acc["sum"], want.Acc["sum"])
+	}
+}
