@@ -9,8 +9,12 @@ import (
 	"io"
 	"testing"
 
+	"dpa/internal/bh"
 	"dpa/internal/driver"
 	"dpa/internal/harness"
+	"dpa/internal/machine"
+	"dpa/internal/nbody"
+	"dpa/internal/sim"
 )
 
 // benchWorkload is the reduced problem size used by benchmarks.
@@ -48,6 +52,26 @@ func BenchmarkX1_EM3DIntensity(b *testing.B)   { runExperiment(b, "X1") }
 func BenchmarkX2_QueueDiscipline(b *testing.B) { runExperiment(b, "X2") }
 func BenchmarkX3_CacheCapacity(b *testing.B)   { runExperiment(b, "X3") }
 func BenchmarkX4_SequentialCache(b *testing.B) { runExperiment(b, "X4") }
+
+// BenchmarkEngine compares host execution time of the two simulation
+// engines on the same workload: one Barnes-Hut step with 32 simulated nodes
+// under DPA(50). The results are bit-identical; only wall-clock differs. On
+// a multi-core host the parallel engine exploits the conservative lookahead
+// window to run simulated nodes concurrently; on a single core it measures
+// pure coordination overhead.
+func BenchmarkEngine(b *testing.B) {
+	w := nbody.Plummer(4096, 42)
+	for _, kind := range []sim.EngineKind{sim.Sequential, sim.Parallel} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			mcfg := machine.DefaultT3D(32)
+			mcfg.Engine = kind
+			for i := 0; i < b.N; i++ {
+				bh.RunSteps(mcfg, driver.DPASpec(50), w, 1, bh.DefaultParams())
+			}
+		})
+	}
+}
 
 // BenchmarkHeadline reports the paper's headline comparison (BH on 16
 // nodes, DPA(50) vs caching) as simulated seconds per scheme.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dpabench -app bh|fmm -nodes 16 -runtime dpa|caching|blocking \
+//	         -engine sequential|parallel \
 //	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29]
 package main
 
@@ -14,11 +15,11 @@ import (
 	"os"
 
 	"dpa/internal/bh"
-	"dpa/internal/core"
 	"dpa/internal/driver"
 	"dpa/internal/fmm"
 	"dpa/internal/machine"
 	"dpa/internal/nbody"
+	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
 
@@ -26,6 +27,7 @@ func main() {
 	app := flag.String("app", "bh", "application: bh or fmm")
 	nodes := flag.Int("nodes", 16, "simulated node count")
 	rtName := flag.String("runtime", "dpa", "runtime: dpa, caching, or blocking")
+	engine := flag.String("engine", "sequential", "simulation engine: sequential or parallel")
 	bodies := flag.Int("bodies", 16384, "body count")
 	steps := flag.Int("steps", 1, "Barnes-Hut steps")
 	terms := flag.Int("terms", 29, "FMM expansion terms")
@@ -39,11 +41,7 @@ func main() {
 	var spec driver.Spec
 	switch *rtName {
 	case "dpa":
-		c := core.Default()
-		c.Strip = *strip
-		c.AggLimit = *agg
-		c.Pipeline = !*noPipe
-		spec = driver.Spec{Kind: driver.DPA, Core: c}
+		spec = driver.DPASpec(*strip, driver.WithAggLimit(*agg), driver.WithPipeline(!*noPipe))
 	case "caching":
 		spec = driver.CachingSpec()
 	case "blocking":
@@ -54,6 +52,15 @@ func main() {
 	}
 
 	mcfg := machine.DefaultT3D(*nodes)
+	switch *engine {
+	case "sequential":
+		mcfg.Engine = sim.Sequential
+	case "parallel":
+		mcfg.Engine = sim.Parallel
+	default:
+		fmt.Fprintf(os.Stderr, "dpabench: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
 	if *trace {
 		mcfg.TraceBins = 50_000 // ~0.3 ms bins at 150 MHz; Gantt re-bins to fit
 	}
@@ -72,24 +79,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	sec := mcfg.Seconds
-	local, comm, idle := run.AvgPerNode()
-	fmt.Printf("app=%s nodes=%d runtime=%s\n", *app, *nodes, spec)
-	fmt.Printf("time      %10.3f s (simulated, %.0f MHz clock)\n", sec(run.Makespan), mcfg.ClockHz/1e6)
-	fmt.Printf("local     %10.3f s/node\n", sec(local))
-	fmt.Printf("comm ovhd %10.3f s/node\n", sec(comm))
-	fmt.Printf("idle      %10.3f s/node\n", sec(idle))
-	fmt.Printf("breakdown |%s|\n", run.BarChart(50))
-	fmt.Printf("messages  %d (%.2f MB)\n", run.MsgsSent(), float64(run.BytesSent())/1e6)
-	rt := run.RT
-	fmt.Printf("threads   %d run, %d spawns (%d local, %d reused, %d fetched)\n",
-		rt.ThreadsRun, rt.Spawns, rt.LocalHits, rt.Reuses, rt.Fetches)
-	if rt.ReqMsgs > 0 {
-		fmt.Printf("requests  %d messages, %.1f objects/message\n",
-			rt.ReqMsgs, float64(rt.Fetches)/float64(rt.ReqMsgs))
-	}
-	fmt.Printf("peak      %d outstanding threads, %.1f KB renamed copies\n",
-		rt.PeakOutstanding, float64(rt.PeakArrivedBytes)/1024)
+	fmt.Printf("app=%s nodes=%d runtime=%s engine=%s\n", *app, *nodes, spec, mcfg.Engine)
+	fmt.Print(run.Table(mcfg.ClockHz))
 	if *trace && run.Timeline != nil {
 		fmt.Printf("\nactivity timeline (#=local +=comm .=idle), one row per node:\n")
 		for i, row := range run.Timeline.Gantt(100) {

@@ -29,6 +29,7 @@ import (
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/machine"
+	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
 
@@ -50,6 +51,19 @@ type (
 	Node = machine.Node
 	// Endpoint is a node's active-message endpoint.
 	Endpoint = fm.EP
+	// Time is a duration or instant in simulated cycles.
+	Time = sim.Time
+	// EngineKind selects the simulation engine (Sequential or Parallel).
+	EngineKind = sim.EngineKind
+)
+
+// The two simulation engines. Sequential (the zero value) interleaves
+// simulated nodes on one goroutine in virtual-time order; Parallel runs them
+// on real goroutines under a conservative lookahead window. Both produce
+// bit-identical results.
+const (
+	Sequential = sim.Sequential
+	Parallel   = sim.Parallel
 )
 
 // Runtime selection types.
@@ -68,6 +82,10 @@ type (
 	BlockingConfig = blocking.Config
 	// RunStats is the merged result of a simulated phase.
 	RunStats = stats.Run
+	// Breakdown is one node's accumulated cycle and traffic counters.
+	Breakdown = stats.Breakdown
+	// RTStats are the merged runtime-level counters of a run.
+	RTStats = stats.RTStats
 )
 
 // Nil is the null global pointer.
@@ -80,10 +98,29 @@ func NewSpace(n int) *Space { return gptr.NewSpace(n) }
 // node count (150 MHz nodes, FM-style messaging costs, 3D torus).
 func DefaultT3D(nodes int) MachineConfig { return machine.DefaultT3D(nodes) }
 
+// SpecOption customizes a Spec built by DPASpec, CachingSpec, or
+// BlockingSpec.
+type SpecOption = driver.SpecOption
+
+// WithAggLimit sets the DPA aggregation limit (1 disables, 0 unlimited).
+func WithAggLimit(n int) SpecOption { return driver.WithAggLimit(n) }
+
+// WithLIFO selects the depth-first (LIFO) ready-queue discipline for DPA.
+func WithLIFO() SpecOption { return driver.WithLIFO() }
+
+// WithPipeline enables or disables DPA message pipelining.
+func WithPipeline(on bool) SpecOption { return driver.WithPipeline(on) }
+
+// WithPollEvery sets ready-thread executions between network polls.
+func WithPollEvery(n int) SpecOption { return driver.WithPollEvery(n) }
+
+// WithCacheCapacity bounds the software cache to n objects (0 = unbounded).
+func WithCacheCapacity(n int) SpecOption { return driver.WithCacheCapacity(n) }
+
 // DPASpec selects the DPA runtime with the given strip size and the default
-// communication optimizations (aggregation + pipelining) enabled. The
-// paper's headline configuration is DPASpec(50).
-func DPASpec(strip int) Spec { return driver.DPASpec(strip) }
+// communication optimizations (aggregation + pipelining) enabled, then
+// applies opts. The paper's headline configuration is DPASpec(50).
+func DPASpec(strip int, opts ...SpecOption) Spec { return driver.DPASpec(strip, opts...) }
 
 // DPADefault returns the default DPA runtime configuration for further
 // customization; wrap it in a Spec via SpecFromDPA.
@@ -93,15 +130,30 @@ func DPADefault() DPAConfig { return core.Default() }
 func SpecFromDPA(cfg DPAConfig) Spec { return Spec{Kind: driver.DPA, Core: cfg} }
 
 // CachingSpec selects the software-caching comparator runtime.
-func CachingSpec() Spec { return driver.CachingSpec() }
+func CachingSpec(opts ...SpecOption) Spec { return driver.CachingSpec(opts...) }
 
 // BlockingSpec selects the blocking comparator runtime.
-func BlockingSpec() Spec { return driver.BlockingSpec() }
+func BlockingSpec(opts ...SpecOption) Spec { return driver.BlockingSpec(opts...) }
+
+// RunOption adjusts how RunPhase executes a phase.
+type RunOption = driver.RunOption
+
+// WithEngine selects the simulation engine (Sequential or Parallel).
+func WithEngine(kind EngineKind) RunOption { return driver.WithEngine(kind) }
+
+// WithTrace enables activity-timeline recording with the given bin width in
+// cycles.
+func WithTrace(binWidth Time) RunOption { return driver.WithTrace(binWidth) }
+
+// WithValidation runs the phase under the other engine too and panics if the
+// two runs' statistics diverge. The body is executed twice.
+func WithValidation() RunOption { return driver.WithValidation() }
 
 // RunPhase executes one SPMD phase: body runs on every simulated node with
 // its runtime instance; a barrier closes the phase. It returns per-node
-// cost breakdowns and merged runtime counters.
+// cost breakdowns and merged runtime counters. Options select the engine,
+// enable tracing, or cross-validate the two engines.
 func RunPhase(mcfg MachineConfig, space *Space, spec Spec,
-	body func(rt Runtime, ep *Endpoint, nd *Node)) RunStats {
-	return driver.RunPhase(mcfg, space, spec, body)
+	body func(rt Runtime, ep *Endpoint, nd *Node), opts ...RunOption) RunStats {
+	return driver.RunPhase(mcfg, space, spec, body, opts...)
 }

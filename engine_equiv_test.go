@@ -1,0 +1,155 @@
+package dpa
+
+// Engine-equivalence tests: the parallel conservative engine must produce
+// bit-identical statistics to the sequential engine on real workloads under
+// every runtime scheme. This is the determinism contract the two-engine
+// design rests on (see DESIGN.md).
+
+import (
+	"fmt"
+	"testing"
+
+	"dpa/internal/em3d"
+	"dpa/internal/pdg"
+	"dpa/internal/tpart"
+)
+
+// equivSpecs are the runtime schemes the engines are compared under.
+func equivSpecs() []Spec {
+	return []Spec{DPASpec(8), CachingSpec(), BlockingSpec()}
+}
+
+// treesumProgram is the recursive tree-sum pointer program from
+// examples/treesum, small enough to run under every runtime in a test.
+func treesumProgram() *pdg.Program {
+	return &pdg.Program{
+		Entry: "main",
+		Funcs: map[string]*pdg.Func{
+			"main": {Name: "main", Params: []string{"root"}, Body: []pdg.Stmt{
+				pdg.Call{Fn: "walk", Args: []pdg.Expr{pdg.V{Name: "root"}}},
+			}},
+			"walk": {Name: "walk", Params: []string{"t"}, Body: []pdg.Stmt{
+				pdg.GLoad{Dst: "v", Ptr: "t", Field: "val"},
+				pdg.Work{Cost: 40, Uses: []string{"v"}},
+				pdg.Accum{Target: "sum", E: pdg.V{Name: "v"}},
+				pdg.GLoad{Dst: "l", Ptr: "t", Field: "left"},
+				pdg.GLoad{Dst: "r", Ptr: "t", Field: "right"},
+				pdg.If{Cond: pdg.Not{E: pdg.IsNil{E: pdg.V{Name: "l"}}},
+					Then: []pdg.Stmt{pdg.Call{Fn: "walk", Args: []pdg.Expr{pdg.V{Name: "l"}}}}},
+				pdg.If{Cond: pdg.Not{E: pdg.IsNil{E: pdg.V{Name: "r"}}},
+					Then: []pdg.Stmt{pdg.Call{Fn: "walk", Args: []pdg.Expr{pdg.V{Name: "r"}}}}},
+			}},
+		},
+	}
+}
+
+func buildEquivTree(space *Space, depth int) Ptr {
+	var mk func(d, id int) Ptr
+	mk = func(d, id int) Ptr {
+		if d == 0 {
+			return Nil
+		}
+		rec := &pdg.Record{F: map[string]pdg.Value{
+			"val":   float64(id),
+			"left":  mk(d-1, 2*id),
+			"right": mk(d-1, 2*id+1),
+		}}
+		return space.Alloc(id%space.Nodes(), rec)
+	}
+	return mk(depth, 1)
+}
+
+func TestEngineEquivalenceTreesum(t *testing.T) {
+	const nodes = 4
+	const depth = 8
+	prog := treesumProgram()
+	compiled := tpart.Compile(prog, nil)
+	if _, err := tpart.Validate(compiled); err != nil {
+		t.Fatal(err)
+	}
+	space := NewSpace(nodes)
+	root := buildEquivTree(space, depth)
+	want := pdg.RunSeq(prog, space, root)
+
+	for _, spec := range equivSpecs() {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			var runs [2]RunStats
+			var sums [2]pdg.Value
+			for i, kind := range []EngineKind{Sequential, Parallel} {
+				res := pdg.NewResult()
+				runs[i] = RunPhase(DefaultT3D(nodes), space, spec,
+					func(rt Runtime, ep *Endpoint, nd *Node) {
+						if nd.ID() == 0 {
+							tpart.Run(compiled, rt, nd, res, root)
+						}
+					}, WithEngine(kind))
+				sums[i] = res.Acc["sum"]
+			}
+			if sums[0] != want.Acc["sum"] || sums[1] != want.Acc["sum"] {
+				t.Fatalf("sums %v/%v, want %v", sums[0], sums[1], want.Acc["sum"])
+			}
+			if diff := runs[0].Diff(runs[1]); diff != "" {
+				t.Fatalf("sequential vs parallel stats diverge: %s", diff)
+			}
+		})
+	}
+}
+
+func TestEngineEquivalenceEM3D(t *testing.T) {
+	const nodes = 4
+	const iters = 2
+	prm := em3d.DefaultParams(160)
+	for _, spec := range equivSpecs() {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			var runs [2]RunStats
+			var vals [2]string
+			for i, kind := range []EngineKind{Sequential, Parallel} {
+				mcfg := DefaultT3D(nodes)
+				mcfg.Engine = kind
+				run, g := em3d.RunIters(mcfg, spec, prm, iters)
+				runs[i] = run
+				e, h := g.Values()
+				vals[i] = fmt.Sprintf("%x %x", e, h)
+			}
+			if vals[0] != vals[1] {
+				t.Fatal("graph values diverge between engines")
+			}
+			if diff := runs[0].Diff(runs[1]); diff != "" {
+				t.Fatalf("sequential vs parallel stats diverge: %s", diff)
+			}
+		})
+	}
+}
+
+// TestRunPhaseValidationOption exercises WithValidation: the cross-engine
+// check must pass on a deterministic phase.
+func TestRunPhaseValidationOption(t *testing.T) {
+	const nodes = 3
+	space := NewSpace(nodes)
+	ptrs := make([]Ptr, nodes)
+	for i := range ptrs {
+		ptrs[i] = space.Alloc(i, &pdg.Record{F: map[string]pdg.Value{"val": float64(i)}})
+	}
+	run := RunPhase(DefaultT3D(nodes), space, DPASpec(4),
+		func(rt Runtime, ep *Endpoint, nd *Node) {
+			for _, p := range ptrs {
+				rt.Spawn(p, func(o Object) {})
+			}
+			rt.Drain()
+		}, WithValidation())
+	if run.Makespan <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestRunPhaseRejectsInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid spec")
+		}
+	}()
+	space := NewSpace(1)
+	RunPhase(DefaultT3D(1), space, DPASpec(4, WithAggLimit(-1)), func(rt Runtime, ep *Endpoint, nd *Node) {})
+}

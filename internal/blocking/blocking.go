@@ -8,6 +8,8 @@
 package blocking
 
 import (
+	"fmt"
+
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/sim"
@@ -25,6 +27,15 @@ type Config struct {
 
 // Default returns the standard blocking-runtime configuration.
 func Default() Config { return Config{SpawnCost: 4} }
+
+// Validate rejects configurations with no defined meaning. It is called by
+// the driver before a runtime is instantiated.
+func (c *Config) Validate() error {
+	if c.SpawnCost < 0 {
+		return fmt.Errorf("blocking: SpawnCost must be non-negative, got %d", c.SpawnCost)
+	}
+	return nil
+}
 
 // Proto holds the fetch-protocol handler ids.
 type Proto struct {

@@ -16,6 +16,8 @@
 package caching
 
 import (
+	"fmt"
+
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/sim"
@@ -44,6 +46,21 @@ type Config struct {
 // probe cost itself comes from the machine config (Config.HashCost).
 func Default() Config {
 	return Config{PollEvery: 1, SpawnCost: 75, ExecCost: 45}
+}
+
+// Validate rejects configurations with no defined meaning. It is called by
+// the driver before a runtime is instantiated.
+func (c *Config) Validate() error {
+	if c.PollEvery < 0 {
+		return fmt.Errorf("caching: PollEvery must be >= 0 (0 = every iteration), got %d", c.PollEvery)
+	}
+	if c.Capacity < 0 {
+		return fmt.Errorf("caching: Capacity must be >= 0 (0 = unbounded), got %d", c.Capacity)
+	}
+	if c.SpawnCost < 0 || c.ExecCost < 0 {
+		return fmt.Errorf("caching: costs must be non-negative (spawn=%d exec=%d)", c.SpawnCost, c.ExecCost)
+	}
+	return nil
 }
 
 func (c *Config) pollEvery() int {

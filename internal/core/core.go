@@ -46,7 +46,8 @@ type Config struct {
 	// strip-mining (the whole loop is one strip).
 	Strip int
 	// AggLimit is the maximum number of pointers per request message.
-	// 1 disables aggregation; <= 0 means unlimited.
+	// 1 disables aggregation; 0 means unlimited; negative is invalid
+	// (rejected by Validate).
 	AggLimit int
 	// Pipeline enables eager flushing of request buffers so communication
 	// overlaps thread execution. When false, requests are deferred until
@@ -85,6 +86,22 @@ func Default() Config {
 		ExecCost:  54, // dequeue, dispatch through the renamed pointer
 		MapCost:   30,
 	}
+}
+
+// Validate rejects configurations with no defined meaning. It is called by
+// the driver before a runtime is instantiated.
+func (c *Config) Validate() error {
+	if c.AggLimit < 0 {
+		return fmt.Errorf("core: AggLimit must be >= 0 (0 = unlimited), got %d", c.AggLimit)
+	}
+	if c.PollEvery < 0 {
+		return fmt.Errorf("core: PollEvery must be >= 0 (0 = every iteration), got %d", c.PollEvery)
+	}
+	if c.SpawnCost < 0 || c.ExecCost < 0 || c.MapCost < 0 {
+		return fmt.Errorf("core: costs must be non-negative (spawn=%d exec=%d map=%d)",
+			c.SpawnCost, c.ExecCost, c.MapCost)
+	}
+	return nil
 }
 
 func (c *Config) aggLimit() int {

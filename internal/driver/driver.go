@@ -12,6 +12,7 @@ import (
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/machine"
+	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
 
@@ -53,19 +54,68 @@ type Spec struct {
 	Blocking blocking.Config // used when Kind == Blocking
 }
 
+// SpecOption customizes a Spec built by DPASpec, CachingSpec, or
+// BlockingSpec. Options that target a field of a runtime the Spec does not
+// select are recorded but have no effect on the run.
+type SpecOption func(*Spec)
+
+// WithAggLimit sets the DPA aggregation limit: the maximum number of
+// pointers per request message (1 disables aggregation, 0 means unlimited).
+func WithAggLimit(n int) SpecOption { return func(s *Spec) { s.Core.AggLimit = n } }
+
+// WithLIFO selects the depth-first (LIFO) ready-queue discipline for DPA.
+func WithLIFO() SpecOption { return func(s *Spec) { s.Core.LIFO = true } }
+
+// WithPipeline enables or disables DPA message pipelining (eager request
+// flushing that overlaps communication with thread execution).
+func WithPipeline(on bool) SpecOption { return func(s *Spec) { s.Core.Pipeline = on } }
+
+// WithPollEvery sets the number of ready-thread executions between network
+// polls for the DPA and caching runtimes.
+func WithPollEvery(n int) SpecOption {
+	return func(s *Spec) { s.Core.PollEvery = n; s.Caching.PollEvery = n }
+}
+
+// WithCacheCapacity bounds the software cache to n objects (0 = unbounded).
+func WithCacheCapacity(n int) SpecOption { return func(s *Spec) { s.Caching.Capacity = n } }
+
 // DPASpec returns a Spec for DPA with the given strip size and the default
-// communication optimizations enabled.
-func DPASpec(strip int) Spec {
+// communication optimizations enabled, then applies opts.
+func DPASpec(strip int, opts ...SpecOption) Spec {
 	c := core.Default()
 	c.Strip = strip
-	return Spec{Kind: DPA, Core: c}
+	return applySpec(Spec{Kind: DPA, Core: c}, opts)
 }
 
 // CachingSpec returns a Spec for the software-caching runtime.
-func CachingSpec() Spec { return Spec{Kind: Caching, Caching: caching.Default()} }
+func CachingSpec(opts ...SpecOption) Spec {
+	return applySpec(Spec{Kind: Caching, Caching: caching.Default()}, opts)
+}
 
 // BlockingSpec returns a Spec for the blocking runtime.
-func BlockingSpec() Spec { return Spec{Kind: Blocking, Blocking: blocking.Default()} }
+func BlockingSpec(opts ...SpecOption) Spec {
+	return applySpec(Spec{Kind: Blocking, Blocking: blocking.Default()}, opts)
+}
+
+func applySpec(s Spec, opts []SpecOption) Spec {
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// Validate checks the spec's selected runtime configuration.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case DPA:
+		return s.Core.Validate()
+	case Caching:
+		return s.Caching.Validate()
+	case Blocking:
+		return s.Blocking.Validate()
+	}
+	return fmt.Errorf("driver: unknown runtime kind %q", string(s.Kind))
+}
 
 // String names the spec for table rows.
 func (s Spec) String() string {
@@ -114,24 +164,97 @@ func NewProtos() *Protos {
 	}
 }
 
-// NewRuntime instantiates the runtime selected by spec on one node.
-func (p *Protos) NewRuntime(spec Spec, ep *fm.EP, space *gptr.Space) Runtime {
+// NewRuntime instantiates the runtime selected by spec on one node. It
+// validates the spec's configuration and returns a descriptive error when it
+// is rejected.
+func (p *Protos) NewRuntime(spec Spec, ep *fm.EP, space *gptr.Space) (Runtime, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	switch spec.Kind {
 	case DPA:
-		return coreAdapter{core.New(p.core, ep, space, spec.Core)}
+		return coreAdapter{core.New(p.core, ep, space, spec.Core)}, nil
 	case Caching:
-		return cachingAdapter{caching.New(p.caching, ep, space, spec.Caching)}
+		return cachingAdapter{caching.New(p.caching, ep, space, spec.Caching)}, nil
 	case Blocking:
-		return blockingAdapter{blocking.New(p.blocking, ep, space, spec.Blocking)}
+		return blockingAdapter{blocking.New(p.blocking, ep, space, spec.Blocking)}, nil
 	}
-	panic("driver: unknown runtime kind " + string(spec.Kind))
+	panic("driver: unreachable kind " + string(spec.Kind)) // Validate rejected it
+}
+
+// RunOption adjusts how RunPhase executes a phase (engine choice, tracing,
+// cross-engine validation) without widening its signature.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	engine    sim.EngineKind
+	engineSet bool
+	traceBins sim.Time
+	validate  bool
+}
+
+// WithEngine selects the simulation engine: sim.Sequential (the default) or
+// sim.Parallel, which runs simulated nodes on real goroutines under a
+// conservative lookahead window and produces bit-identical statistics.
+func WithEngine(kind sim.EngineKind) RunOption {
+	return func(rc *runConfig) { rc.engine = kind; rc.engineSet = true }
+}
+
+// WithTrace enables activity-timeline recording with the given bin width in
+// cycles (see machine.Config.TraceBins).
+func WithTrace(binWidth sim.Time) RunOption {
+	return func(rc *runConfig) { rc.traceBins = binWidth }
+}
+
+// WithValidation runs the phase a second time under the other engine and
+// panics if the two runs' statistics diverge — a determinism check for the
+// engine pair. The body must be re-runnable: it is executed twice, so any
+// state it mutates outside the runtime (e.g. application arrays) is updated
+// twice.
+func WithValidation() RunOption {
+	return func(rc *runConfig) { rc.validate = true }
 }
 
 // RunPhase executes one SPMD phase: body runs on every node with its
 // runtime; a barrier closes the phase (nodes keep serving until everyone is
 // done). The returned Run has per-node breakdowns and merged runtime
-// counters.
+// counters. Options select the engine, enable tracing, or cross-validate the
+// engines; with no options the phase runs exactly as configured by mcfg.
 func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
+	body func(rt Runtime, ep *fm.EP, nd *machine.Node), opts ...RunOption) stats.Run {
+
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.engineSet {
+		mcfg.Engine = rc.engine
+	}
+	if rc.traceBins > 0 {
+		mcfg.TraceBins = rc.traceBins
+	}
+	if err := spec.Validate(); err != nil {
+		panic("driver: invalid spec: " + err.Error())
+	}
+	run := runOnce(mcfg, space, spec, body)
+	if rc.validate {
+		other := mcfg
+		if mcfg.Engine == sim.Parallel {
+			other.Engine = sim.Sequential
+		} else {
+			other.Engine = sim.Parallel
+		}
+		check := runOnce(other, space, spec, body)
+		if diff := run.Diff(check); diff != "" {
+			panic(fmt.Sprintf("driver: engine validation failed (%v vs %v): %s",
+				mcfg.Engine, other.Engine, diff))
+		}
+	}
+	return run
+}
+
+// runOnce executes the phase on a fresh machine and collects statistics.
+func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 	body func(rt Runtime, ep *fm.EP, nd *machine.Node)) stats.Run {
 
 	protos := NewProtos()
@@ -139,7 +262,10 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 	rts := make([]Runtime, mcfg.Nodes)
 	makespan := m.Run(func(nd *machine.Node) {
 		ep := fm.NewEP(protos.Net, nd)
-		rt := protos.NewRuntime(spec, ep, space)
+		rt, err := protos.NewRuntime(spec, ep, space)
+		if err != nil {
+			panic(err) // spec was validated before the machine started
+		}
 		rts[nd.ID()] = rt
 		body(rt, ep, nd)
 		ep.Barrier()

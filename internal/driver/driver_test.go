@@ -31,7 +31,10 @@ func TestNewRuntimeKinds(t *testing.T) {
 		m := machine.New(machine.DefaultT3D(1))
 		m.Run(func(nd *machine.Node) {
 			ep := fm.NewEP(protos.Net, nd)
-			rt := protos.NewRuntime(spec, ep, space)
+			rt, err := protos.NewRuntime(spec, ep, space)
+			if err != nil {
+				t.Errorf("%s: %v", spec, err)
+			}
 			if rt == nil {
 				t.Errorf("%s: nil runtime", spec)
 			}
@@ -39,19 +42,45 @@ func TestNewRuntimeKinds(t *testing.T) {
 	}
 }
 
-func TestUnknownKindPanics(t *testing.T) {
+func TestUnknownKindRejected(t *testing.T) {
 	protos := NewProtos()
 	space := gptr.NewSpace(1)
 	m := machine.New(machine.DefaultT3D(1))
 	m.Run(func(nd *machine.Node) {
 		ep := fm.NewEP(protos.Net, nd)
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic")
-			}
-		}()
-		protos.NewRuntime(Spec{Kind: "bogus"}, ep, space)
+		if _, err := protos.NewRuntime(Spec{Kind: "bogus"}, ep, space); err == nil {
+			t.Error("expected error for unknown kind")
+		}
 	})
+}
+
+func TestNewRuntimeRejectsInvalidConfig(t *testing.T) {
+	protos := NewProtos()
+	space := gptr.NewSpace(1)
+	m := machine.New(machine.DefaultT3D(1))
+	m.Run(func(nd *machine.Node) {
+		ep := fm.NewEP(protos.Net, nd)
+		bad := DPASpec(10)
+		bad.Core.AggLimit = -3
+		if _, err := protos.NewRuntime(bad, ep, space); err == nil {
+			t.Error("expected error for negative AggLimit")
+		}
+		badCache := CachingSpec(WithCacheCapacity(-1))
+		if _, err := protos.NewRuntime(badCache, ep, space); err == nil {
+			t.Error("expected error for negative cache capacity")
+		}
+	})
+}
+
+func TestSpecOptions(t *testing.T) {
+	s := DPASpec(300, WithAggLimit(4), WithLIFO(), WithPipeline(false), WithPollEvery(3))
+	if s.Core.Strip != 300 || s.Core.AggLimit != 4 || !s.Core.LIFO || s.Core.Pipeline || s.Core.PollEvery != 3 {
+		t.Fatalf("option application: %+v", s.Core)
+	}
+	c := CachingSpec(WithCacheCapacity(128), WithPollEvery(2))
+	if c.Caching.Capacity != 128 || c.Caching.PollEvery != 2 {
+		t.Fatalf("caching options: %+v", c.Caching)
+	}
 }
 
 func TestRunPhaseMergesAllNodes(t *testing.T) {

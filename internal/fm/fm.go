@@ -7,6 +7,7 @@ package fm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dpa/internal/machine"
 	"dpa/internal/sim"
@@ -19,7 +20,7 @@ type Handler func(ep *EP, m sim.Message)
 // Handlers must be registered before the machine runs.
 type Net struct {
 	handlers []Handler
-	sealed   bool
+	sealed   atomic.Bool // set by every node's NewEP, possibly concurrently
 }
 
 // Reserved internal handler indices.
@@ -44,7 +45,7 @@ func NewNet() *Net {
 // Register adds a handler and returns its id. Register must be called before
 // any endpoint is created.
 func (n *Net) Register(h Handler) int {
-	if n.sealed {
+	if n.sealed.Load() {
 		panic("fm: Register after endpoints created")
 	}
 	n.handlers = append(n.handlers, h)
@@ -84,7 +85,7 @@ type EP struct {
 // NewEP creates the endpoint for a node. Call once per node inside the SPMD
 // main function.
 func NewEP(net *Net, n *machine.Node) *EP {
-	net.sealed = true
+	net.sealed.Store(true)
 	return &EP{Node: n, net: net}
 }
 

@@ -54,7 +54,19 @@ type Config struct {
 	// TraceBins, when positive, enables activity-timeline recording with
 	// the given bin width in cycles (see Timeline).
 	TraceBins sim.Time
+
+	// Engine selects the simulation engine (sim.Sequential, the zero value,
+	// or sim.Parallel). Both produce bit-identical results; the parallel
+	// engine runs simulated nodes on real goroutines, synchronized by
+	// lookahead epochs derived from the machine's minimum message delay.
+	Engine sim.EngineKind
 }
+
+// Lookahead returns the machine's minimum cross-node message delay in
+// cycles: every send charges SendOverhead before the message departs, and
+// every message spends at least LatencyBase in the network. This is the
+// conservative synchronization window of the parallel engine.
+func (c *Config) Lookahead() sim.Time { return c.SendOverhead + c.LatencyBase }
 
 // DefaultT3D returns a T3D-like configuration for the given node count.
 //
@@ -98,6 +110,13 @@ func (c *Config) Validate() error {
 	}
 	if c.ClockHz <= 0 {
 		return fmt.Errorf("machine: ClockHz must be positive")
+	}
+	if c.SendOverhead < 0 || c.RecvOverhead < 0 || c.PollCost < 0 || c.HandlerCost < 0 ||
+		c.LatencyBase < 0 || c.LatencyPerHop < 0 {
+		return fmt.Errorf("machine: per-operation costs must be non-negative")
+	}
+	if c.Engine == sim.Parallel && c.Lookahead() <= 0 {
+		return fmt.Errorf("machine: parallel engine requires SendOverhead+LatencyBase > 0 (lookahead = %d)", c.Lookahead())
 	}
 	return nil
 }
@@ -155,7 +174,7 @@ func (c Config) Seconds(t sim.Time) float64 { return float64(t) / c.ClockHz }
 // Machine is a configured multicomputer ready to run one SPMD program.
 type Machine struct {
 	Cfg   Config
-	eng   *sim.Engine
+	eng   sim.Engine
 	nodes []*Node
 	trace *Timeline
 }
@@ -166,7 +185,7 @@ func New(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{Cfg: cfg, eng: sim.NewEngine()}
+	m := &Machine{Cfg: cfg, eng: sim.NewEngineOf(cfg.Engine, cfg.Lookahead())}
 	if cfg.TraceBins > 0 {
 		m.EnableTrace(cfg.TraceBins)
 	}

@@ -92,6 +92,52 @@ func TestValidate(t *testing.T) {
 	if err := cfg.Validate(); err == nil {
 		t.Error("expected error for zero bandwidth")
 	}
+	cfg = DefaultT3D(4)
+	cfg.SendOverhead = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for negative cost")
+	}
+	cfg = DefaultT3D(4)
+	cfg.Engine = sim.Parallel
+	cfg.SendOverhead = 0
+	cfg.LatencyBase = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for parallel engine with zero lookahead")
+	}
+}
+
+func TestLookahead(t *testing.T) {
+	cfg := DefaultT3D(4)
+	if got := cfg.Lookahead(); got != cfg.SendOverhead+cfg.LatencyBase {
+		t.Errorf("Lookahead = %d", got)
+	}
+}
+
+func TestParallelEngineMachineRun(t *testing.T) {
+	// The same SPMD program must produce identical charges on both engines.
+	body := func(n *Node) {
+		if n.ID() == 0 {
+			n.Charge(sim.Compute, 100)
+			n.Send(1, 7, nil, 16)
+			return
+		}
+		n.WaitMessage()
+	}
+	var spans [2]sim.Time
+	var charges [2][sim.NumCategories]sim.Time
+	for i, kind := range []sim.EngineKind{sim.Sequential, sim.Parallel} {
+		cfg := DefaultT3D(2)
+		cfg.Engine = kind
+		m := New(cfg)
+		spans[i] = m.Run(body)
+		charges[i] = m.Nodes()[1].Charges()
+	}
+	if spans[0] != spans[1] {
+		t.Errorf("makespans differ: %d vs %d", spans[0], spans[1])
+	}
+	if charges[0] != charges[1] {
+		t.Errorf("receiver charges differ: %v vs %v", charges[0], charges[1])
+	}
 }
 
 func TestSendReceiveCosts(t *testing.T) {

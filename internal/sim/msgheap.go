@@ -1,12 +1,18 @@
 package sim
 
-// msgHeap is a binary min-heap of messages ordered by (Arrival, seq), giving
-// deterministic delivery order for simultaneous arrivals.
+// msgHeap is a binary min-heap of messages ordered by (Arrival, From,
+// per-sender seq), giving deterministic delivery order for simultaneous
+// arrivals. The key is a total order fixed by each sender's program order,
+// not by the global interleaving of sends, so the sequential and parallel
+// engines deliver identically.
 type msgHeap []Message
 
 func (h msgHeap) less(i, j int) bool {
 	if h[i].Arrival != h[j].Arrival {
 		return h[i].Arrival < h[j].Arrival
+	}
+	if h[i].From != h[j].From {
+		return h[i].From < h[j].From
 	}
 	return h[i].seq < h[j].seq
 }

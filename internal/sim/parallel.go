@@ -1,0 +1,119 @@
+package sim
+
+import "fmt"
+
+// ParEngine is the conservative parallel engine. It exploits the machine
+// model's minimum message delay (the lookahead): any message posted by a
+// process whose clock is at least the global virtual time (GVT) arrives no
+// earlier than GVT + lookahead. All processes whose next event falls inside
+// the window [GVT, GVT+lookahead) can therefore execute concurrently without
+// any of them observing a message from its logical past. The engine runs
+// such epochs back to back, separated by barriers at which it recomputes the
+// GVT and the window frontier.
+//
+// Within an epoch every admitted process runs on its own goroutine until its
+// next scheduling event (poll, wait, or completion) would cross the
+// frontier. Epoch membership, idle accounting, and message delivery order —
+// (arrival, sender, per-sender sequence) — are all functions of virtual
+// time, never of real-time interleaving, so a parallel run is bit-identical
+// to a sequential run of the same program.
+//
+// The lookahead contract is enforced: a cross-process post whose arrival
+// precedes the current epoch frontier panics (see Proc.Post). The machine
+// layer guarantees the contract by charging at least the lookahead's worth
+// of send overhead plus base latency on every message.
+type ParEngine struct {
+	procs     []*Proc
+	lookahead Time
+	batch     []*Proc
+}
+
+// NewParallel returns an empty parallel engine with the given lookahead
+// (the machine's minimum cross-process message delay, in cycles). The
+// lookahead must be positive: with zero lookahead no two processes can ever
+// be safely coscheduled and the sequential engine should be used instead.
+func NewParallel(lookahead Time) *ParEngine {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: parallel engine requires positive lookahead, got %d", lookahead))
+	}
+	return &ParEngine{lookahead: lookahead}
+}
+
+// Lookahead returns the engine's lookahead window width in cycles.
+func (e *ParEngine) Lookahead() Time { return e.lookahead }
+
+func (e *ParEngine) peer(id int) *Proc { return e.procs[id] }
+
+// Spawn registers a new process whose body is fn. Processes start at time 0.
+// Spawn must be called before Run.
+func (e *ParEngine) Spawn(fn func(p *Proc)) *Proc {
+	p := newProc(e, len(e.procs), fn, true)
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// Run executes all processes until every one has returned. It returns the
+// makespan: the largest final clock across processes. Run panics on deadlock
+// (all processes blocked with empty mailboxes).
+func (e *ParEngine) Run() Time {
+	for {
+		// Barrier point: every process is parked, so wakes and mailboxes
+		// can be read without synchronization (the yield hand-offs order
+		// all prior writes before this goroutine's reads).
+		gvt := Forever
+		live := false
+		for _, p := range e.procs {
+			if p.state == stateDone {
+				continue
+			}
+			live = true
+			if w := p.effectiveWake(); w < p.wake {
+				p.wake = w
+			}
+			if p.wake < gvt {
+				gvt = p.wake
+			}
+		}
+		if !live {
+			break
+		}
+		if gvt == Forever {
+			panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
+		}
+		frontier := gvt + e.lookahead
+
+		// Admit every process whose next event is inside the window. Prep
+		// (idle catch-up, horizon, state) completes for the whole batch
+		// before any process resumes, so a running process never races the
+		// coordinator.
+		e.batch = e.batch[:0]
+		for _, p := range e.procs {
+			if p.state == stateDone || p.wake >= frontier {
+				continue
+			}
+			p.catchUp()
+			p.horizon = frontier
+			p.state = stateRunning
+			e.batch = append(e.batch, p)
+		}
+		for _, p := range e.batch {
+			p.resume <- struct{}{}
+		}
+		for _, p := range e.batch {
+			<-p.yielded
+		}
+	}
+	return makespan(e.procs)
+}
+
+// Procs returns the engine's processes (for stats collection after Run).
+func (e *ParEngine) Procs() []*Proc { return e.procs }
+
+// NewEngineOf returns an engine of the given kind. The lookahead is only
+// used by the parallel engine.
+func NewEngineOf(kind EngineKind, lookahead Time) Engine {
+	if kind == Parallel {
+		return NewParallel(lookahead)
+	}
+	return NewEngine()
+}

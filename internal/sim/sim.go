@@ -6,23 +6,35 @@
 // local virtual clock, advanced explicitly by Charge. Processes communicate
 // only by posting timestamped messages into each other's mailboxes.
 //
-// The engine is conservative and sequential: exactly one process executes at
-// a time, and the engine always resumes the process with the smallest wake-up
-// time (ties broken by process id), so simulations are exactly reproducible.
-// Because a process's clock advances only by the work it charges, and because
-// messages are delivered no earlier than their send time plus a non-negative
-// delay, no process can ever observe a message from its own future.
+// Two engines drive the processes, both conservative and both producing
+// bit-identical results:
+//
+//   - The sequential engine (NewEngine) executes exactly one process at a
+//     time, always resuming the process with the smallest wake-up time.
+//   - The parallel engine (NewParallel) executes every process whose next
+//     event falls inside a lookahead window on its own goroutine, truly in
+//     parallel, and advances the window frontier by barrier epochs.
+//
+// Determinism across engines rests on one rule: mailbox delivery is ordered
+// by (arrival time, sender id, per-sender sequence number), which is a total
+// order fixed by the programs themselves, independent of the real-time order
+// in which the engine happened to execute sends. Because a process's clock
+// advances only by the work it charges, and because messages are delivered
+// no earlier than their send time plus a non-negative delay, no process can
+// ever observe a message from its own future under either engine.
 //
 // Processes yield control to the engine only at Poll and WaitMessage. To keep
 // goroutine hand-offs rare, the engine gives each resumed process a horizon:
-// the smallest wake-up time of any other process. Until the process's clock
-// crosses the horizon, polling and waiting are serviced locally without a
-// context switch.
+// under the sequential engine the smallest wake-up time of any other process,
+// under the parallel engine the current epoch frontier. Until the process's
+// clock crosses the horizon, polling and waiting are serviced locally without
+// a context switch.
 package sim
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Time is virtual time measured in processor cycles.
@@ -88,11 +100,52 @@ func (c Category) String() string {
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }
 
+// EngineKind selects which engine implementation drives a simulation.
+type EngineKind uint8
+
+const (
+	// Sequential is the one-process-at-a-time engine (the default).
+	Sequential EngineKind = iota
+	// Parallel is the conservative lookahead-window engine: processes run
+	// on real goroutines, synchronized by barrier epochs.
+	Parallel
+)
+
+// String names the engine kind.
+func (k EngineKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Parallel:
+		return "parallel"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(k))
+}
+
+// Engine drives a set of processes to completion in virtual time. Spawn must
+// not be called after Run; Run may be called once.
+type Engine interface {
+	// Spawn registers a new process whose body is fn. Processes start at
+	// time 0.
+	Spawn(fn func(p *Proc)) *Proc
+	// Run executes all processes until every one has returned, and returns
+	// the makespan: the largest final clock across processes. Run panics on
+	// deadlock (all processes blocked with empty mailboxes).
+	Run() Time
+	// Procs returns the engine's processes (for stats collection after Run).
+	Procs() []*Proc
+}
+
+// scheduler is the engine-side surface a Proc needs while running.
+type scheduler interface {
+	peer(id int) *Proc
+}
+
 // Message is a timestamped message in a process mailbox. The engine does not
 // interpret Handler or Payload; higher layers (the fm package) define them.
 type Message struct {
 	Arrival Time
-	seq     uint64 // global send order, for deterministic tie-breaking
+	seq     uint64 // per-sender send order, for deterministic tie-breaking
 	From    int
 	Handler int
 	Payload any
@@ -112,13 +165,20 @@ const (
 // own goroutine (the function passed to Engine.Spawn), never from outside.
 type Proc struct {
 	id      int
-	eng     *Engine
+	sched   scheduler
 	clock   Time
-	state   procState
-	wake    Time
-	horizon Time // smallest wake time among other live procs, set at resume
+	state   procState // guarded by mu while other procs may run
+	wake    Time      // guarded by mu while other procs may run
+	horizon Time      // local-service bound, set at resume
+	// strict marks the parallel engine's horizon semantics: the horizon is
+	// an epoch frontier that local idle-advance must stay strictly below,
+	// and every cross-process post must arrive at or beyond it (the
+	// lookahead contract).
+	strict  bool
+	sendSeq uint64
 
-	mailbox msgHeap
+	mu      sync.Mutex
+	mailbox msgHeap // guarded by mu
 
 	resume  chan struct{}
 	yielded chan struct{}
@@ -128,6 +188,29 @@ type Proc struct {
 	// onCharge, when set, observes every clock advance as
 	// (category, start, end) — the hook behind activity timelines.
 	onCharge func(Category, Time, Time)
+}
+
+// newProc registers a process on s and starts its goroutine, parked until
+// the engine's first resume.
+func newProc(s scheduler, id int, fn func(p *Proc), strict bool) *Proc {
+	p := &Proc{
+		id:      id,
+		sched:   s,
+		state:   stateReady,
+		wake:    0,
+		strict:  strict,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.mu.Lock()
+		p.state = stateDone
+		p.mu.Unlock()
+		p.yielded <- struct{}{}
+	}()
+	return p
 }
 
 // SetChargeHook installs an observer for every clock advance (including
@@ -160,28 +243,40 @@ func (p *Proc) Charge(cat Category, d Time) {
 func (p *Proc) Charges() [NumCategories]Time { return p.charges }
 
 // Post inserts a message into the mailbox of process dst with the given
-// arrival time. Arrival must be >= the sender's current clock. Post never
-// yields; the engine notices the new message the next time it schedules.
+// arrival time. Arrival must be >= the sender's current clock; under the
+// parallel engine, cross-process arrivals must additionally respect the
+// engine's lookahead (arrival >= the current epoch frontier), which holds by
+// construction for any machine model whose per-message delay is at least the
+// lookahead. Post never yields; the engine notices the new message the next
+// time it schedules.
 func (p *Proc) Post(dst int, m Message) {
 	if m.Arrival < p.clock {
 		panic(fmt.Sprintf("sim: message arrival %d before sender clock %d", m.Arrival, p.clock))
 	}
-	q := p.eng.procs[dst]
-	m.seq = p.eng.seq
+	if p.strict && dst != p.id && m.Arrival < p.horizon {
+		panic(fmt.Sprintf("sim: lookahead violation — message from %d to %d arrives at %d, before epoch frontier %d",
+			p.id, dst, m.Arrival, p.horizon))
+	}
+	m.seq = p.sendSeq
 	m.From = p.id
-	p.eng.seq++
+	p.sendSeq++
+	q := p.sched.peer(dst)
+	q.mu.Lock()
 	q.mailbox.push(m)
 	if q.state == stateBlocked && m.Arrival < q.wake {
 		q.wake = m.Arrival
 	}
-	// The receiver may now need to run before our previous horizon.
+	q.mu.Unlock()
+	// The receiver may now need to run before our previous horizon (only
+	// possible under the sequential engine; the parallel lookahead contract
+	// keeps arrivals at or beyond the frontier).
 	if dst != p.id && m.Arrival < p.horizon {
 		p.horizon = m.Arrival
 	}
 }
 
 // Poll returns (removing) all messages whose arrival time is <= the current
-// clock, in arrival order. If the clock has crossed the scheduling horizon,
+// clock, in delivery order. If the clock has crossed the scheduling horizon,
 // Poll first yields so that other processes with earlier clocks can run.
 // Poll itself charges nothing; callers charge poll cost explicitly.
 func (p *Proc) Poll() []Message {
@@ -196,7 +291,10 @@ func (p *Proc) HasMessage() bool {
 	if p.clock >= p.horizon {
 		p.yield(stateReady, p.clock)
 	}
-	return len(p.mailbox) > 0 && p.mailbox[0].Arrival <= p.clock
+	p.mu.Lock()
+	has := len(p.mailbox) > 0 && p.mailbox[0].Arrival <= p.clock
+	p.mu.Unlock()
+	return has
 }
 
 // WaitMessage blocks until at least one message has arrived, advancing the
@@ -205,8 +303,13 @@ func (p *Proc) HasMessage() bool {
 // it returns immediately without idling.
 func (p *Proc) WaitMessage() []Message {
 	for {
+		p.mu.Lock()
+		at := Forever
 		if len(p.mailbox) > 0 {
-			at := p.mailbox[0].Arrival
+			at = p.mailbox[0].Arrival
+		}
+		p.mu.Unlock()
+		if at != Forever {
 			if at <= p.clock {
 				if p.clock >= p.horizon {
 					p.yield(stateReady, p.clock)
@@ -214,8 +317,9 @@ func (p *Proc) WaitMessage() []Message {
 				return p.drain()
 			}
 			// The earliest pending message is in our future. If no other
-			// process needs to run before it arrives, just advance.
-			if at <= p.horizon {
+			// process needs to run before it arrives (sequential), or it is
+			// strictly inside the epoch frontier (parallel), just advance.
+			if at < p.horizon || (!p.strict && at == p.horizon) {
 				p.charges[Idle] += at - p.clock
 				if p.onCharge != nil {
 					p.onCharge(Idle, p.clock, at)
@@ -230,10 +334,12 @@ func (p *Proc) WaitMessage() []Message {
 
 // drain removes and returns all messages with arrival <= clock.
 func (p *Proc) drain() []Message {
+	p.mu.Lock()
 	var out []Message
 	for len(p.mailbox) > 0 && p.mailbox[0].Arrival <= p.clock {
 		out = append(out, p.mailbox.pop())
 	}
+	p.mu.Unlock()
 	return out
 }
 
@@ -241,92 +347,92 @@ func (p *Proc) drain() []Message {
 // which the process wants to continue; for stateBlocked the engine computes
 // the wake time from the mailbox.
 func (p *Proc) yield(s procState, wake Time) {
+	p.mu.Lock()
 	p.state = s
 	p.wake = wake
-	if s == stateBlocked {
-		if len(p.mailbox) > 0 {
-			p.wake = p.mailbox[0].Arrival
-		}
+	if s == stateBlocked && len(p.mailbox) > 0 {
+		p.wake = p.mailbox[0].Arrival
 	}
+	p.mu.Unlock()
 	p.yielded <- struct{}{}
 	<-p.resume
 }
 
-// Engine drives a set of processes to completion in virtual time.
-type Engine struct {
-	procs []*Proc
-	seq   uint64
+// effectiveWake returns the process's next event time, folding in mail that
+// arrived since it yielded. Engines call it only between hand-offs, when the
+// process is parked.
+func (p *Proc) effectiveWake() Time {
+	w := p.wake
+	if p.state == stateBlocked && len(p.mailbox) > 0 && p.mailbox[0].Arrival < w {
+		w = p.mailbox[0].Arrival
+	}
+	return w
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine { return &Engine{} }
+// catchUp advances a parked process's clock to its wake time, charging the
+// gap as Idle (a blocked process woken by a message arrival).
+func (p *Proc) catchUp() {
+	if p.wake > p.clock {
+		p.charges[Idle] += p.wake - p.clock
+		if p.onCharge != nil {
+			p.onCharge(Idle, p.clock, p.wake)
+		}
+		p.clock = p.wake
+	}
+}
+
+// SeqEngine is the sequential engine: exactly one process executes at a
+// time, and the engine always resumes the process with the smallest wake-up
+// time (ties broken by process id), so simulations are exactly reproducible.
+type SeqEngine struct {
+	procs []*Proc
+}
+
+// NewEngine returns an empty sequential engine.
+func NewEngine() *SeqEngine { return &SeqEngine{} }
+
+func (e *SeqEngine) peer(id int) *Proc { return e.procs[id] }
 
 // Spawn registers a new process whose body is fn. Processes start at time 0.
 // Spawn must be called before Run.
-func (e *Engine) Spawn(fn func(p *Proc)) *Proc {
-	p := &Proc{
-		id:      len(e.procs),
-		eng:     e,
-		state:   stateReady,
-		wake:    0,
-		resume:  make(chan struct{}),
-		yielded: make(chan struct{}),
-	}
+func (e *SeqEngine) Spawn(fn func(p *Proc)) *Proc {
+	p := newProc(e, len(e.procs), fn, false)
 	e.procs = append(e.procs, p)
-	go func() {
-		<-p.resume
-		fn(p)
-		p.state = stateDone
-		p.yielded <- struct{}{}
-	}()
 	return p
 }
 
 // Run executes all processes until every one has returned. It returns the
 // makespan: the largest final clock across processes. Run panics on deadlock
 // (all processes blocked with empty mailboxes).
-func (e *Engine) Run() Time {
+func (e *SeqEngine) Run() Time {
 	for {
 		p := e.next()
 		if p == nil {
 			break
 		}
 		if p.wake == Forever {
-			panic("sim: deadlock — all processes blocked with no pending messages " + e.describe())
+			panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
 		}
-		if p.wake > p.clock {
-			// Blocked process woken by a message arrival: the gap is idle.
-			p.charges[Idle] += p.wake - p.clock
-			if p.onCharge != nil {
-				p.onCharge(Idle, p.clock, p.wake)
-			}
-			p.clock = p.wake
-		}
+		p.catchUp()
 		p.horizon = e.horizonFor(p.id)
 		p.state = stateRunning
 		p.resume <- struct{}{}
 		<-p.yielded
 	}
-	var makespan Time
-	for _, p := range e.procs {
-		if p.clock > makespan {
-			makespan = p.clock
-		}
-	}
-	return makespan
+	return makespan(e.procs)
 }
 
 // next picks the live process with the smallest wake time (ties by id), or
 // nil if all processes are done.
-func (e *Engine) next() *Proc {
+func (e *SeqEngine) next() *Proc {
 	var best *Proc
 	for _, p := range e.procs {
 		if p.state == stateDone {
 			continue
 		}
 		// A blocked process may have received mail since it yielded.
-		if p.state == stateBlocked && len(p.mailbox) > 0 && p.mailbox[0].Arrival < p.wake {
-			p.wake = p.mailbox[0].Arrival
+		if w := p.effectiveWake(); w < p.wake {
+			p.wake = w
 		}
 		if best == nil || p.wake < best.wake {
 			best = p
@@ -337,33 +443,43 @@ func (e *Engine) next() *Proc {
 
 // horizonFor computes the smallest wake time among live processes other than
 // id.
-func (e *Engine) horizonFor(id int) Time {
+func (e *SeqEngine) horizonFor(id int) Time {
 	h := Forever
 	for _, q := range e.procs {
 		if q.id == id || q.state == stateDone {
 			continue
 		}
-		w := q.wake
-		if q.state == stateBlocked && len(q.mailbox) > 0 && q.mailbox[0].Arrival < w {
-			w = q.mailbox[0].Arrival
-		}
-		if w < h {
+		if w := q.effectiveWake(); w < h {
 			h = w
 		}
 	}
 	return h
 }
 
+// Procs returns the engine's processes (for stats collection after Run).
+func (e *SeqEngine) Procs() []*Proc { return e.procs }
+
+// makespan returns the largest final clock across processes.
+func makespan(procs []*Proc) Time {
+	var m Time
+	for _, p := range procs {
+		if p.clock > m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
 // describe summarizes process states for deadlock diagnostics.
-func (e *Engine) describe() string {
+func describe(procs []*Proc) string {
 	type row struct {
 		id    int
 		clock Time
 		state procState
 		mail  int
 	}
-	rows := make([]row, 0, len(e.procs))
-	for _, p := range e.procs {
+	rows := make([]row, 0, len(procs))
+	for _, p := range procs {
 		rows = append(rows, row{p.id, p.clock, p.state, len(p.mailbox)})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
@@ -373,6 +489,3 @@ func (e *Engine) describe() string {
 	}
 	return s
 }
-
-// Procs returns the engine's processes (for stats collection after Run).
-func (e *Engine) Procs() []*Proc { return e.procs }

@@ -340,10 +340,7 @@ func TestMsgHeapProperty(t *testing.T) {
 func TestMsgHeapStableWithinArrival(t *testing.T) {
 	f := func(raw []uint8) bool {
 		var h msgHeap
-		var e Engine
-		p := &Proc{eng: &e}
-		e.procs = []*Proc{p, {eng: &e}}
-		// All same arrival: pop order must equal push (seq) order.
+		// All same arrival and sender: pop order must equal send (seq) order.
 		for i, r := range raw {
 			_ = r
 			h.push(Message{Arrival: 10, Handler: i, seq: uint64(i)})

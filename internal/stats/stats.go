@@ -191,6 +191,60 @@ func (r *Run) Summary(clockHz float64) string {
 		sec(r.Makespan), sec(local), sec(comm), sec(idle), r.MsgsSent(), r.BytesSent())
 }
 
+// Equal reports whether two runs have identical observable statistics:
+// makespan, every node's breakdown, and the merged runtime counters. The
+// Timeline is ignored (it is a presentation artifact, not a result). This is
+// the bit-identity check used to validate the sequential and parallel
+// engines against each other.
+func (r *Run) Equal(o Run) bool { return r.Diff(o) == "" }
+
+// Diff returns a description of the first difference between two runs'
+// observable statistics, or "" when they are identical. The Timeline is
+// ignored.
+func (r *Run) Diff(o Run) string {
+	if r.Makespan != o.Makespan {
+		return fmt.Sprintf("makespan %d != %d", r.Makespan, o.Makespan)
+	}
+	if len(r.Nodes) != len(o.Nodes) {
+		return fmt.Sprintf("node count %d != %d", len(r.Nodes), len(o.Nodes))
+	}
+	for i := range r.Nodes {
+		if r.Nodes[i] != o.Nodes[i] {
+			return fmt.Sprintf("node %d breakdown %+v != %+v", i, r.Nodes[i], o.Nodes[i])
+		}
+	}
+	if r.RT != o.RT {
+		return fmt.Sprintf("runtime counters %+v != %+v", r.RT, o.RT)
+	}
+	return ""
+}
+
+// Table renders the full result as a multi-line table at the given clock
+// rate: the time breakdown, a stacked bar, message traffic, and the runtime
+// counters. This is the standard presentation used by the command-line
+// tools.
+func (r *Run) Table(clockHz float64) string {
+	sec := func(t sim.Time) float64 { return float64(t) / clockHz }
+	local, comm, idle := r.AvgPerNode()
+	var b strings.Builder
+	fmt.Fprintf(&b, "time      %10.3f s (simulated, %.0f MHz clock)\n", sec(r.Makespan), clockHz/1e6)
+	fmt.Fprintf(&b, "local     %10.3f s/node\n", sec(local))
+	fmt.Fprintf(&b, "comm ovhd %10.3f s/node\n", sec(comm))
+	fmt.Fprintf(&b, "idle      %10.3f s/node\n", sec(idle))
+	fmt.Fprintf(&b, "breakdown |%s|\n", r.BarChart(50))
+	fmt.Fprintf(&b, "messages  %d (%.2f MB)\n", r.MsgsSent(), float64(r.BytesSent())/1e6)
+	rt := r.RT
+	fmt.Fprintf(&b, "threads   %d run, %d spawns (%d local, %d reused, %d fetched)\n",
+		rt.ThreadsRun, rt.Spawns, rt.LocalHits, rt.Reuses, rt.Fetches)
+	if rt.ReqMsgs > 0 {
+		fmt.Fprintf(&b, "requests  %d messages, %.1f objects/message\n",
+			rt.ReqMsgs, float64(rt.Fetches)/float64(rt.ReqMsgs))
+	}
+	fmt.Fprintf(&b, "peak      %d outstanding threads, %.1f KB renamed copies\n",
+		rt.PeakOutstanding, float64(rt.PeakArrivedBytes)/1024)
+	return b.String()
+}
+
 // BarChart renders a textual stacked bar of the local/comm/idle breakdown,
 // in the spirit of the paper's figures. width is the bar length in runes for
 // the makespan.
