@@ -7,12 +7,20 @@
 //	dpabench -app bh|fmm -nodes 16 -runtime dpa|caching|blocking \
 //	         -engine sequential|parallel \
 //	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29]
+//
+// With -json, dpabench instead measures the host performance of the
+// simulator itself: it benchmarks the configured run under both engines
+// (testing.Benchmark) and emits the measurements as JSON — the format of
+// the tracked baseline BENCH_1.json at the repository root.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 
 	"dpa/internal/bh"
 	"dpa/internal/driver"
@@ -36,6 +44,7 @@ func main() {
 	noPipe := flag.Bool("nopipe", false, "disable DPA message pipelining")
 	seed := flag.Int64("seed", 42, "workload seed")
 	trace := flag.Bool("trace", false, "print a per-node activity Gantt chart")
+	jsonOut := flag.Bool("json", false, "benchmark the host performance of both engines and emit JSON")
 	flag.Parse()
 
 	var spec driver.Spec
@@ -64,20 +73,31 @@ func main() {
 	if *trace {
 		mcfg.TraceBins = 50_000 // ~0.3 ms bins at 150 MHz; Gantt re-bins to fit
 	}
-	var run stats.Run
+	var runOnce func(machine.Config) stats.Run
 	switch *app {
 	case "bh":
 		w := nbody.Plummer(*bodies, *seed)
-		run = bh.RunSteps(mcfg, spec, w, *steps, bh.DefaultParams())
+		runOnce = func(cfg machine.Config) stats.Run {
+			return bh.RunSteps(cfg, spec, w, *steps, bh.DefaultParams())
+		}
 	case "fmm":
 		w := nbody.Uniform2D(*bodies, *seed)
 		prm := fmm.DefaultParams(*bodies)
 		prm.Terms = *terms
-		run, _ = fmm.RunStep(mcfg, spec, w, prm)
+		runOnce = func(cfg machine.Config) stats.Run {
+			run, _ := fmm.RunStep(cfg, spec, w, prm)
+			return run
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "dpabench: unknown app %q\n", *app)
 		os.Exit(1)
 	}
+
+	if *jsonOut {
+		emitHostBench(mcfg, runOnce, *app, *nodes, *bodies, *steps, spec)
+		return
+	}
+	run := runOnce(mcfg)
 
 	fmt.Printf("app=%s nodes=%d runtime=%s engine=%s\n", *app, *nodes, spec, mcfg.Engine)
 	fmt.Print(run.Table(mcfg.ClockHz))
@@ -86,5 +106,53 @@ func main() {
 		for i, row := range run.Timeline.Gantt(100) {
 			fmt.Printf("%3d |%s|\n", i, row)
 		}
+	}
+}
+
+// hostBenchReport is the JSON document emitted by -json and stored as the
+// tracked baseline BENCH_1.json.
+type hostBenchReport struct {
+	App        string            `json:"app"`
+	Nodes      int               `json:"nodes"`
+	Bodies     int               `json:"bodies"`
+	Steps      int               `json:"steps"`
+	Runtime    string            `json:"runtime"`
+	GoVersion  string            `json:"go_version"`
+	Benchmarks []stats.HostBench `json:"benchmarks"`
+}
+
+// emitHostBench benchmarks the configured run under both engines with
+// testing.Benchmark and writes the measurements as JSON to stdout.
+func emitHostBench(mcfg machine.Config, runOnce func(machine.Config) stats.Run, app string, nodes, bodies, steps int, spec driver.Spec) {
+	report := hostBenchReport{
+		App:       app,
+		Nodes:     nodes,
+		Bodies:    bodies,
+		Steps:     steps,
+		Runtime:   fmt.Sprint(spec),
+		GoVersion: runtime.Version(),
+	}
+	for _, kind := range []sim.EngineKind{sim.Sequential, sim.Parallel} {
+		cfg := mcfg
+		cfg.Engine = kind
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runOnce(cfg)
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, stats.HostBench{
+			Name:        "Engine/" + kind.String(),
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -125,7 +125,10 @@ type Proto struct {
 	hReply int
 }
 
-// fetchReq asks an owner for a batch of its objects.
+// fetchReq asks an owner for a batch of its objects. Requests and replies
+// are passed by pointer and recycled through per-node free lists once their
+// handler has consumed them, so the steady-state fetch protocol allocates
+// nothing on the host.
 type fetchReq struct {
 	ptrs []gptr.Ptr
 }
@@ -150,40 +153,59 @@ func RegisterProto(net *fm.Net) *Proto {
 
 func onFetchReq(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
-	req := m.Payload.(fetchReq)
-	objs := make([]gptr.Object, len(req.ptrs))
+	req := m.Payload.(*fetchReq)
+	rep := rt.pool.getReply()
+	rep.ptrs = req.ptrs // echoed back; recycled by the requester
+	rep.objs = rt.pool.getObjs(len(req.ptrs))
 	bytes := msgHeaderBytes
 	for i, p := range req.ptrs {
 		// The owner reads the object out of its memory to serialize it.
 		ep.Node.Touch(p.Key())
 		o := rt.Space.Get(p)
-		objs[i] = o
+		rep.objs[i] = o
 		bytes += o.ByteSize() + gptr.PtrBytes
 	}
-	ep.Send(m.From, rt.proto.hReply, fetchReply{ptrs: req.ptrs, objs: objs}, bytes)
+	ep.Send(m.From, rt.proto.hReply, rep, bytes)
+	req.ptrs = nil // ownership moved to the reply
+	rt.pool.putReq(req)
 }
 
 func onFetchReply(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
-	rep := m.Payload.(fetchReply)
+	rep := m.Payload.(*fetchReply)
 	rt.pendingReplies--
 	for i, p := range rep.ptrs {
 		o := rep.objs[i]
-		rt.arrived[p] = o
+		e := rt.table[p]
+		e.obj = o
+		e.arrived = true
 		rt.arrivedBytes += int64(o.ByteSize())
 		if rt.arrivedBytes > rt.st.PeakArrivedBytes {
 			rt.st.PeakArrivedBytes = rt.arrivedBytes
 		}
-		ws := rt.m[p]
-		delete(rt.m, p)
-		rt.waiting -= len(ws)
+		rt.waiting -= len(e.waiters)
 		// All threads dependent on p become ready together: they will run
 		// back to back, reusing the renamed copy while it is hot.
-		for _, fn := range ws {
+		for j, fn := range e.waiters {
 			rt.ready.push(readyEntry{key: p.Key(), obj: o, fn: fn})
+			e.waiters[j] = nil
 		}
+		e.waiters = e.waiters[:0]
 	}
 	rt.trackPeak()
+	rt.pool.putPtrs(rep.ptrs)
+	rt.pool.putObjs(rep.objs)
+	rt.pool.putReply(rep)
+}
+
+// dEntry is one fused M/D table entry for a remote pointer: while the fetch
+// is in flight it holds the suspended threads (the paper's M table); once
+// the reply lands it holds the renamed copy (the D table). Fusing the two
+// maps means a remote spawn costs one hash probe instead of up to three.
+type dEntry struct {
+	obj     gptr.Object
+	arrived bool
+	waiters []Thread
 }
 
 // RT is the per-node DPA runtime instance.
@@ -194,8 +216,7 @@ type RT struct {
 	proto *Proto
 
 	ready   readyQueue
-	m       map[gptr.Ptr][]Thread    // M: pointer -> suspended threads
-	arrived map[gptr.Ptr]gptr.Object // D: pointer -> renamed copy (this strip)
+	table   map[gptr.Ptr]*dEntry // fused M/D: fetch state + suspended threads
 	waiting int
 
 	agg      [][]gptr.Ptr // per-destination request buffers
@@ -206,19 +227,19 @@ type RT struct {
 
 	arrivedBytes int64
 	st           stats.RTStats
+	pool         pools
 }
 
 // New creates the runtime for one node and binds it to the endpoint (the
 // fetch handlers find it through ep.Ctx).
 func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 	rt := &RT{
-		EP:      ep,
-		Space:   space,
-		Cfg:     cfg,
-		proto:   proto,
-		m:       make(map[gptr.Ptr][]Thread),
-		arrived: make(map[gptr.Ptr]gptr.Object),
-		agg:     make([][]gptr.Ptr, ep.Node.N()),
+		EP:    ep,
+		Space: space,
+		Cfg:   cfg,
+		proto: proto,
+		table: make(map[gptr.Ptr]*dEntry),
+		agg:   make([][]gptr.Ptr, ep.Node.N()),
 	}
 	ep.Ctx = rt
 	return rt
@@ -247,20 +268,20 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 		return
 	}
 	n.Charge(sim.SchedOv, rt.Cfg.MapCost)
-	if o, ok := rt.arrived[p]; ok {
+	if e, ok := rt.table[p]; ok {
 		rt.st.Reuses++
-		rt.ready.push(readyEntry{key: p.Key(), obj: o, fn: fn})
+		if e.arrived {
+			rt.ready.push(readyEntry{key: p.Key(), obj: e.obj, fn: fn})
+		} else {
+			e.waiters = append(e.waiters, fn)
+			rt.waiting++
+		}
 		rt.trackPeak()
 		return
 	}
-	if ws, ok := rt.m[p]; ok {
-		rt.st.Reuses++
-		rt.m[p] = append(ws, fn)
-		rt.waiting++
-		rt.trackPeak()
-		return
-	}
-	rt.m[p] = []Thread{fn}
+	e := rt.pool.getEntry()
+	e.waiters = append(e.waiters, fn)
+	rt.table[p] = e
 	rt.waiting++
 	rt.st.Fetches++
 	rt.enqueueReq(p)
@@ -295,10 +316,10 @@ func (rt *RT) flushDest(dst int) {
 		if hi > len(ptrs) {
 			hi = len(ptrs)
 		}
-		chunk := make([]gptr.Ptr, hi-lo)
-		copy(chunk, ptrs[lo:hi])
-		rt.EP.Send(dst, rt.proto.hReq, fetchReq{ptrs: chunk},
-			msgHeaderBytes+gptr.PtrBytes*len(chunk))
+		req := rt.pool.getReq()
+		req.ptrs = append(rt.pool.getPtrs(), ptrs[lo:hi]...)
+		rt.EP.Send(dst, rt.proto.hReq, req,
+			msgHeaderBytes+gptr.PtrBytes*len(req.ptrs))
 		rt.pendingReplies++
 		rt.st.ReqMsgs++
 	}
@@ -386,13 +407,16 @@ func (rt *RT) ForAll(n int, spawnIter func(i int)) {
 	}
 }
 
-// endStrip discards the strip's renamed copies.
+// endStrip discards the strip's renamed copies, recycling the table entries.
 func (rt *RT) endStrip() {
 	if rt.waiting != 0 || rt.pendingReplies != 0 || rt.aggCount != 0 {
 		panic(fmt.Sprintf("core: strip ended with waiting=%d pending=%d buffered=%d",
 			rt.waiting, rt.pendingReplies, rt.aggCount))
 	}
-	clear(rt.arrived)
+	for _, e := range rt.table {
+		rt.pool.putEntry(e)
+	}
+	clear(rt.table)
 	rt.arrivedBytes = 0
 }
 

@@ -1,0 +1,109 @@
+package core
+
+import "dpa/internal/gptr"
+
+// poolCap bounds each free list so a burst (one oversized strip, say) does
+// not pin memory for the rest of the run.
+const poolCap = 64
+
+// pools are the per-node free lists behind the fetch protocol and the fused
+// M/D table. Every buffer is only ever touched by the node currently holding
+// it — requests and replies move between nodes by message passing, and a
+// handler recycles a buffer only after it has fully consumed it — so the
+// lists need no locking even under the parallel engine. Recycling affects
+// host allocations only, never simulated time, so it cannot perturb the
+// bit-identical determinism contract.
+type pools struct {
+	reqs    []*fetchReq
+	replies []*fetchReply
+	ptrs    [][]gptr.Ptr
+	objs    [][]gptr.Object
+	entries []*dEntry
+}
+
+func (pl *pools) getReq() *fetchReq {
+	if n := len(pl.reqs); n > 0 {
+		r := pl.reqs[n-1]
+		pl.reqs = pl.reqs[:n-1]
+		return r
+	}
+	return &fetchReq{}
+}
+
+func (pl *pools) putReq(r *fetchReq) {
+	if len(pl.reqs) < poolCap {
+		pl.reqs = append(pl.reqs, r)
+	}
+}
+
+func (pl *pools) getReply() *fetchReply {
+	if n := len(pl.replies); n > 0 {
+		r := pl.replies[n-1]
+		pl.replies = pl.replies[:n-1]
+		return r
+	}
+	return &fetchReply{}
+}
+
+func (pl *pools) putReply(r *fetchReply) {
+	r.ptrs, r.objs = nil, nil
+	if len(pl.replies) < poolCap {
+		pl.replies = append(pl.replies, r)
+	}
+}
+
+// getPtrs returns an empty pointer batch, reusing a recycled one's capacity.
+func (pl *pools) getPtrs() []gptr.Ptr {
+	if n := len(pl.ptrs); n > 0 {
+		s := pl.ptrs[n-1]
+		pl.ptrs = pl.ptrs[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (pl *pools) putPtrs(s []gptr.Ptr) {
+	if s != nil && len(pl.ptrs) < poolCap {
+		pl.ptrs = append(pl.ptrs, s)
+	}
+}
+
+// getObjs returns an object batch of length n with all slots zeroed.
+func (pl *pools) getObjs(n int) []gptr.Object {
+	if m := len(pl.objs); m > 0 {
+		s := pl.objs[m-1]
+		pl.objs = pl.objs[:m-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]gptr.Object, n)
+}
+
+func (pl *pools) putObjs(s []gptr.Object) {
+	if s == nil || len(pl.objs) >= poolCap {
+		return
+	}
+	clear(s) // drop object references so renamed copies can be collected
+	pl.objs = append(pl.objs, s[:0])
+}
+
+func (pl *pools) getEntry() *dEntry {
+	if n := len(pl.entries); n > 0 {
+		e := pl.entries[n-1]
+		pl.entries = pl.entries[:n-1]
+		return e
+	}
+	return &dEntry{}
+}
+
+func (pl *pools) putEntry(e *dEntry) {
+	if len(pl.entries) >= poolCap {
+		return
+	}
+	e.obj = nil
+	e.arrived = false
+	clear(e.waiters)
+	e.waiters = e.waiters[:0]
+	pl.entries = append(pl.entries, e)
+}

@@ -90,6 +90,13 @@ func NewEP(net *Net, n *machine.Node) *EP {
 }
 
 // dispatch runs handlers for the given messages, charging handler cost.
+//
+// ms is the node's reusable drain buffer (see sim.Proc.Poll): it is only
+// valid until the next Poll/WaitMessage on this node. dispatch consumes it
+// synchronously and never retains it, and handlers must not re-enter
+// Poll/WaitAndDispatch — a nested drain would overwrite the buffer being
+// iterated. The registered handlers keep that rule today: they only Send,
+// mutate runtime tables, or push ready threads; none of them drains.
 func (ep *EP) dispatch(ms []sim.Message) int {
 	for _, m := range ms {
 		if m.Handler < 0 || m.Handler >= len(ep.net.handlers) {

@@ -271,7 +271,13 @@ func (n *Node) Send(dst, handler int, payload any, bytes int) {
 }
 
 // Poll checks the network, charging the poll cost, and returns any arrived
-// messages after charging per-message receive overhead.
+// messages after charging per-message receive overhead. Exactly one
+// sim.Proc.Poll is issued per PollCost charged, so the modeled poll cost and
+// the engine's scheduling events stay in one-to-one correspondence.
+//
+// The returned slice is the process's reusable drain buffer: it is valid
+// only until the next Poll or WaitMessage on this node. Callers that retain
+// messages across polls must copy them out first.
 func (n *Node) Poll() []sim.Message {
 	c := &n.mach.Cfg
 	n.proc.Charge(sim.PollOv, c.PollCost)
@@ -281,7 +287,8 @@ func (n *Node) Poll() []sim.Message {
 }
 
 // WaitMessage blocks until a message arrives (idle time), then extracts all
-// arrived messages like Poll.
+// arrived messages like Poll (including the buffer-reuse rule: the result is
+// valid only until the next Poll or WaitMessage on this node).
 func (n *Node) WaitMessage() []sim.Message {
 	ms := n.proc.WaitMessage()
 	c := &n.mach.Cfg

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // ParEngine is the conservative parallel engine. It exploits the machine
 // model's minimum message delay (the lookahead): any message posted by a
@@ -18,14 +21,33 @@ import "fmt"
 // time, never of real-time interleaving, so a parallel run is bit-identical
 // to a sequential run of the same program.
 //
+// Workers are persistent goroutines and the barrier is decentralized: each
+// worker decrements one atomic counter when its next event crosses the
+// frontier, and the last worker through the barrier runs the coordinator
+// logic itself — it recomputes the GVT, admits the next batch, wakes the
+// others, and, if it is admitted again, keeps running without ever parking.
+// An epoch therefore costs one wake-up per *other* admitted process and no
+// coordinator round trip, instead of the resume/yield channel ping-pong (2P
+// blocking channel operations plus two coordinator hand-offs) per epoch
+// that a naive centralized design pays. Run only seeds the first epoch and
+// then waits for the termination signal.
+//
+// The atomic counter makes the barrier safe: every worker's state, wake,
+// and mailbox writes happen before its decrement, and the decrement chain
+// synchronizes with the last worker's read, so the epoch scan needs no
+// locks.
+//
 // The lookahead contract is enforced: a cross-process post whose arrival
 // precedes the current epoch frontier panics (see Proc.Post). The machine
 // layer guarantees the contract by charging at least the lookahead's worth
 // of send overhead plus base latency on every message.
 type ParEngine struct {
-	procs     []*Proc
-	lookahead Time
-	batch     []*Proc
+	procs       []*Proc
+	lookahead   Time
+	batch       []*Proc
+	epoch       uint64       // generation counter, stamped on admitted procs
+	outstanding atomic.Int32 // admitted workers still inside the epoch
+	done        chan runOutcome
 }
 
 // NewParallel returns an empty parallel engine with the given lookahead
@@ -44,6 +66,30 @@ func (e *ParEngine) Lookahead() Time { return e.lookahead }
 
 func (e *ParEngine) peer(id int) *Proc { return e.procs[id] }
 
+// park is the worker side of the epoch barrier: the yielding process has
+// recorded its state and wake under its mutex. The last worker through the
+// barrier opens the next epoch itself and keeps running (without blocking)
+// if it is admitted again.
+func (e *ParEngine) park(p *Proc) bool {
+	if e.outstanding.Add(-1) > 0 {
+		return false
+	}
+	return e.openEpoch(p)
+}
+
+// exit reports a completed worker to the epoch barrier; like park, the last
+// worker out opens the next epoch (in which it can no longer take part).
+func (e *ParEngine) exit(p *Proc) {
+	if e.outstanding.Add(-1) == 0 {
+		e.openEpoch(p)
+	}
+}
+
+// lowered is a no-op under the parallel engine: wake-time updates are
+// published under the receiver's mutex, and the barrier scan folds them in
+// when the next epoch opens.
+func (e *ParEngine) lowered(q *Proc) {}
+
 // Spawn registers a new process whose body is fn. Processes start at time 0.
 // Spawn must be called before Run.
 func (e *ParEngine) Spawn(fn func(p *Proc)) *Proc {
@@ -52,56 +98,104 @@ func (e *ParEngine) Spawn(fn func(p *Proc)) *Proc {
 	return p
 }
 
+// openEpoch runs the barrier: scan every process for the GVT, admit the next
+// batch, and wake its members. It runs either on Run's goroutine (seeding,
+// self == nil) or on the goroutine of the last worker to leave the previous
+// epoch; in the latter case the return value reports whether that worker was
+// admitted again and should keep running instead of parking. Termination and
+// deadlock are signalled to Run through the outcome channel.
+func (e *ParEngine) openEpoch(self *Proc) bool {
+	// All other workers are parked: their counter decrements synchronize
+	// their state, wake, and mailbox writes with this scan, so no locks are
+	// needed.
+	gvt, second := Forever, Forever
+	live := false
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		live = true
+		if w := p.effectiveWake(); w < p.wake {
+			p.wake = w
+		}
+		if p.wake < gvt {
+			gvt, second = p.wake, gvt
+		} else if p.wake < second {
+			second = p.wake
+		}
+	}
+	if !live {
+		e.done <- runAllDone
+		return false
+	}
+	if gvt == Forever {
+		// Every live process is blocked with no pending messages; Run
+		// raises the panic while the workers stay parked.
+		e.done <- runDeadlock
+		return false
+	}
+	frontier := gvt + e.lookahead
+
+	// Admit every process whose next event is inside the window. Prep
+	// (idle catch-up, horizon, state, epoch stamp) completes for the
+	// whole batch before any process resumes, so a running process
+	// never races the barrier.
+	e.epoch++
+	e.batch = e.batch[:0]
+	selfAdmitted := false
+	for _, p := range e.procs {
+		if p.state == stateDone || p.wake >= frontier {
+			continue
+		}
+		p.catchUp()
+		p.horizon = frontier
+		p.frontier = frontier
+		p.state = stateRunning
+		p.epochGen = e.epoch
+		e.batch = append(e.batch, p)
+		if p == self {
+			selfAdmitted = true
+		}
+	}
+	if len(e.batch) == 1 && second > frontier {
+		// Singleton-window extension: with every other live process
+		// parked at wake >= second, the earliest possible new arrival
+		// at the lone runner is second + lookahead, so it may run that
+		// far before the next barrier. Its own posts shrink the bound
+		// via the horizon-lowering rule in Post (the receiver may then
+		// reply). This collapses the epoch count of imbalanced phases
+		// without touching delivery order. The frontier stays at the
+		// admission window, so the lookahead contract check on posts
+		// is not weakened.
+		if second == Forever {
+			e.batch[0].horizon = Forever
+		} else {
+			e.batch[0].horizon = second + e.lookahead
+		}
+	}
+	// The counter must cover the whole batch before any member resumes: a
+	// woken process that immediately parks again must not see the barrier
+	// reach zero early.
+	e.outstanding.Store(int32(len(e.batch)))
+	for _, p := range e.batch {
+		if p != self {
+			p.resume <- struct{}{}
+		}
+	}
+	return selfAdmitted
+}
+
 // Run executes all processes until every one has returned. It returns the
 // makespan: the largest final clock across processes. Run panics on deadlock
 // (all processes blocked with empty mailboxes).
 func (e *ParEngine) Run() Time {
-	for {
-		// Barrier point: every process is parked, so wakes and mailboxes
-		// can be read without synchronization (the yield hand-offs order
-		// all prior writes before this goroutine's reads).
-		gvt := Forever
-		live := false
-		for _, p := range e.procs {
-			if p.state == stateDone {
-				continue
-			}
-			live = true
-			if w := p.effectiveWake(); w < p.wake {
-				p.wake = w
-			}
-			if p.wake < gvt {
-				gvt = p.wake
-			}
-		}
-		if !live {
-			break
-		}
-		if gvt == Forever {
-			panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
-		}
-		frontier := gvt + e.lookahead
-
-		// Admit every process whose next event is inside the window. Prep
-		// (idle catch-up, horizon, state) completes for the whole batch
-		// before any process resumes, so a running process never races the
-		// coordinator.
-		e.batch = e.batch[:0]
-		for _, p := range e.procs {
-			if p.state == stateDone || p.wake >= frontier {
-				continue
-			}
-			p.catchUp()
-			p.horizon = frontier
-			p.state = stateRunning
-			e.batch = append(e.batch, p)
-		}
-		for _, p := range e.batch {
-			p.resume <- struct{}{}
-		}
-		for _, p := range e.batch {
-			<-p.yielded
-		}
+	if len(e.procs) == 0 {
+		return 0
+	}
+	e.done = make(chan runOutcome, 1)
+	e.openEpoch(nil)
+	if <-e.done == runDeadlock {
+		panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
 	}
 	return makespan(e.procs)
 }

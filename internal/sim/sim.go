@@ -10,10 +10,17 @@
 // bit-identical results:
 //
 //   - The sequential engine (NewEngine) executes exactly one process at a
-//     time, always resuming the process with the smallest wake-up time.
+//     time, always resuming the process with the smallest wake-up time. The
+//     schedule lives in an indexed min-heap keyed by (wake, id), and control
+//     passes directly from the yielding process to the next one — the
+//     scheduling decision is O(log P) and costs a single goroutine hand-off
+//     (or none at all, when the yielding process is still the earliest).
 //   - The parallel engine (NewParallel) executes every process whose next
 //     event falls inside a lookahead window on its own goroutine, truly in
-//     parallel, and advances the window frontier by barrier epochs.
+//     parallel, and advances the window frontier by barrier epochs. Workers
+//     are persistent and the barrier is decentralized: the last worker to
+//     finish an epoch opens the next one itself, so an epoch costs one
+//     wake-up per other admitted process and no coordinator round trip.
 //
 // Determinism across engines rests on one rule: mailbox delivery is ordered
 // by (arrival time, sender id, per-sender sequence number), which is a total
@@ -29,12 +36,23 @@
 // under the parallel engine the current epoch frontier. Until the process's
 // clock crosses the horizon, polling and waiting are serviced locally without
 // a context switch.
+//
+// # Host-performance contract
+//
+// The message path is allocation-free in steady state: Poll and WaitMessage
+// return a per-process buffer that is reused by the next Poll/WaitMessage on
+// the same process. Callers that retain messages across polls must copy them
+// first (the fm layer dispatches synchronously and never retains). The
+// sequential engine runs exactly one goroutine at a time by construction and
+// therefore skips the mailbox mutex entirely; only the parallel engine
+// (strict mode) pays for locking.
 package sim
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Time is virtual time measured in processor cycles.
@@ -138,7 +156,20 @@ type Engine interface {
 
 // scheduler is the engine-side surface a Proc needs while running.
 type scheduler interface {
+	// peer resolves a destination process id for Post.
 	peer(id int) *Proc
+	// park is called by a yielding process after it has recorded its new
+	// state and wake time. The engine picks what runs next; a true return
+	// means the caller itself should keep running (no hand-off), false
+	// means the caller must block on its resume channel.
+	park(p *Proc) bool
+	// exit is called by a process goroutine after its body returned and its
+	// state is Done.
+	exit(p *Proc)
+	// lowered notifies the engine that a post lowered q's wake time while q
+	// was blocked (sequential engine: decrease-key; parallel engine: no-op,
+	// the coordinator rescans at the barrier).
+	lowered(q *Proc)
 }
 
 // Message is a timestamped message in a process mailbox. The engine does not
@@ -163,54 +194,94 @@ const (
 
 // Proc is a simulated process. All methods must be called from the process's
 // own goroutine (the function passed to Engine.Spawn), never from outside.
+//
+// The field layout is deliberate: the first group is written only by the
+// process's own goroutine while it runs (the Charge/Poll hot path), the
+// second group is also written by message senders and by the parallel
+// coordinator. A cache-line pad separates the groups so cross-process posts
+// do not invalidate the owner's hot lines in parallel epochs.
 type Proc struct {
 	id      int
 	sched   scheduler
 	clock   Time
-	state   procState // guarded by mu while other procs may run
-	wake    Time      // guarded by mu while other procs may run
-	horizon Time      // local-service bound, set at resume
+	horizon Time // local-service bound, set at resume
+	// frontier is the parallel engine's epoch frontier at admission, the
+	// bound enforced on cross-process posts. It usually equals horizon,
+	// but a process running alone in its window gets an extended horizon
+	// while the contract check keeps using the frontier.
+	frontier Time
 	// strict marks the parallel engine's horizon semantics: the horizon is
 	// an epoch frontier that local idle-advance must stay strictly below,
 	// and every cross-process post must arrive at or beyond it (the
-	// lookahead contract).
-	strict  bool
-	sendSeq uint64
-
-	mu      sync.Mutex
-	mailbox msgHeap // guarded by mu
-
-	resume  chan struct{}
-	yielded chan struct{}
-
-	charges [NumCategories]Time
+	// lookahead contract). Strict mode is also the locking mode: only the
+	// parallel engine has concurrent posters, so only it takes the mailbox
+	// mutex.
+	strict   bool
+	sendSeq  uint64
+	heapIdx  int       // position in the sequential engine's wake heap
+	drainBuf []Message // reusable Poll/WaitMessage result buffer
+	charges  [NumCategories]Time
 
 	// onCharge, when set, observes every clock advance as
 	// (category, start, end) — the hook behind activity timelines.
 	onCharge func(Category, Time, Time)
+
+	_ [64]byte // shield the owner's hot fields from cross-process traffic
+
+	mu      sync.Mutex
+	mailbox mailbox // guarded by mu in strict mode
+	// mailN mirrors the mailbox size under the parallel engine so the
+	// owner's empty-mailbox checks (the common case on the poll path) are a
+	// single atomic load instead of a mutex acquisition. A message missed by
+	// the race window is a concurrent cross-process post, whose arrival lies
+	// at or beyond the epoch frontier by the lookahead contract — never
+	// pollable in this epoch anyway.
+	mailN    atomic.Int32
+	state    procState // guarded by mu while other procs may run
+	wake     Time      // guarded by mu while other procs may run
+	epochGen uint64    // last parallel epoch this proc was admitted to
+	resume   chan struct{}
 }
 
 // newProc registers a process on s and starts its goroutine, parked until
 // the engine's first resume.
 func newProc(s scheduler, id int, fn func(p *Proc), strict bool) *Proc {
 	p := &Proc{
-		id:      id,
-		sched:   s,
-		state:   stateReady,
-		wake:    0,
-		strict:  strict,
-		resume:  make(chan struct{}),
-		yielded: make(chan struct{}),
+		id:     id,
+		sched:  s,
+		state:  stateReady,
+		wake:   0,
+		strict: strict,
+		resume: make(chan struct{}, 1),
 	}
 	go func() {
 		<-p.resume
 		fn(p)
-		p.mu.Lock()
-		p.state = stateDone
-		p.mu.Unlock()
-		p.yielded <- struct{}{}
+		if p.strict {
+			p.mu.Lock()
+			p.state = stateDone
+			p.mu.Unlock()
+		} else {
+			p.state = stateDone
+		}
+		p.sched.exit(p)
 	}()
 	return p
+}
+
+// lockStrict takes the mailbox mutex under the parallel engine only. The
+// sequential engine runs one goroutine at a time by construction, so its
+// processes never contend and skip the lock.
+func (p *Proc) lockStrict() {
+	if p.strict {
+		p.mu.Lock()
+	}
+}
+
+func (p *Proc) unlockStrict() {
+	if p.strict {
+		p.mu.Unlock()
+	}
 }
 
 // SetChargeHook installs an observer for every clock advance (including
@@ -253,20 +324,29 @@ func (p *Proc) Post(dst int, m Message) {
 	if m.Arrival < p.clock {
 		panic(fmt.Sprintf("sim: message arrival %d before sender clock %d", m.Arrival, p.clock))
 	}
-	if p.strict && dst != p.id && m.Arrival < p.horizon {
+	if p.strict && dst != p.id && m.Arrival < p.frontier {
 		panic(fmt.Sprintf("sim: lookahead violation — message from %d to %d arrives at %d, before epoch frontier %d",
-			p.id, dst, m.Arrival, p.horizon))
+			p.id, dst, m.Arrival, p.frontier))
 	}
 	m.seq = p.sendSeq
 	m.From = p.id
 	p.sendSeq++
 	q := p.sched.peer(dst)
-	q.mu.Lock()
-	q.mailbox.push(m)
-	if q.state == stateBlocked && m.Arrival < q.wake {
-		q.wake = m.Arrival
+	if q.strict {
+		q.mu.Lock()
+		q.mailbox.push(m)
+		q.mailN.Store(int32(q.mailbox.size()))
+		if q.state == stateBlocked && m.Arrival < q.wake {
+			q.wake = m.Arrival
+		}
+		q.mu.Unlock()
+	} else {
+		q.mailbox.push(m)
+		if q.state == stateBlocked && m.Arrival < q.wake {
+			q.wake = m.Arrival
+			p.sched.lowered(q)
+		}
 	}
-	q.mu.Unlock()
 	// The receiver may now need to run before our previous horizon (only
 	// possible under the sequential engine; the parallel lookahead contract
 	// keeps arrivals at or beyond the frontier).
@@ -279,6 +359,10 @@ func (p *Proc) Post(dst int, m Message) {
 // clock, in delivery order. If the clock has crossed the scheduling horizon,
 // Poll first yields so that other processes with earlier clocks can run.
 // Poll itself charges nothing; callers charge poll cost explicitly.
+//
+// The returned slice is the process's reusable drain buffer: it is valid
+// only until the next Poll or WaitMessage on this process. Callers that
+// retain messages across polls must copy them out first.
 func (p *Proc) Poll() []Message {
 	if p.clock >= p.horizon {
 		p.yield(stateReady, p.clock)
@@ -291,25 +375,34 @@ func (p *Proc) HasMessage() bool {
 	if p.clock >= p.horizon {
 		p.yield(stateReady, p.clock)
 	}
+	a, ok := p.peekMail()
+	return ok && a <= p.clock
+}
+
+// peekMail reads the earliest pending arrival. Under the parallel engine the
+// empty case is answered by the atomic mirror alone (see mailN); only a
+// non-empty mailbox pays for the lock.
+func (p *Proc) peekMail() (Time, bool) {
+	if !p.strict {
+		return p.mailbox.peekArrival()
+	}
+	if p.mailN.Load() == 0 {
+		return 0, false
+	}
 	p.mu.Lock()
-	has := len(p.mailbox) > 0 && p.mailbox[0].Arrival <= p.clock
+	a, ok := p.mailbox.peekArrival()
 	p.mu.Unlock()
-	return has
+	return a, ok
 }
 
 // WaitMessage blocks until at least one message has arrived, advancing the
 // local clock to the arrival time and charging the advance as Idle. It then
-// returns the arrived messages (like Poll). If a message has already arrived
-// it returns immediately without idling.
+// returns the arrived messages (like Poll, in the same reusable buffer). If
+// a message has already arrived it returns immediately without idling.
 func (p *Proc) WaitMessage() []Message {
 	for {
-		p.mu.Lock()
-		at := Forever
-		if len(p.mailbox) > 0 {
-			at = p.mailbox[0].Arrival
-		}
-		p.mu.Unlock()
-		if at != Forever {
+		at, ok := p.peekMail()
+		if ok {
 			if at <= p.clock {
 				if p.clock >= p.horizon {
 					p.yield(stateReady, p.clock)
@@ -332,29 +425,51 @@ func (p *Proc) WaitMessage() []Message {
 	}
 }
 
-// drain removes and returns all messages with arrival <= clock.
+// drain removes and returns all messages with arrival <= clock, reusing the
+// process's drain buffer. The empty-mailbox fast path returns nil under a
+// single lock acquisition (none at all under the sequential engine), so
+// HasMessage → Poll sequences do not pay twice.
 func (p *Proc) drain() []Message {
-	p.mu.Lock()
-	var out []Message
-	for len(p.mailbox) > 0 && p.mailbox[0].Arrival <= p.clock {
-		out = append(out, p.mailbox.pop())
+	if p.strict && p.mailN.Load() == 0 {
+		return nil
 	}
-	p.mu.Unlock()
+	p.lockStrict()
+	a, ok := p.mailbox.peekArrival()
+	if !ok || a > p.clock {
+		p.unlockStrict()
+		return nil
+	}
+	out := p.drainBuf[:0]
+	for ok && a <= p.clock {
+		out = append(out, p.mailbox.pop())
+		a, ok = p.mailbox.peekArrival()
+	}
+	p.drainBuf = out
+	if p.strict {
+		p.mailN.Store(int32(p.mailbox.size()))
+	}
+	p.unlockStrict()
 	return out
 }
 
 // yield transfers control to the engine. For stateReady, wake is the time at
 // which the process wants to continue; for stateBlocked the engine computes
-// the wake time from the mailbox.
+// the wake time from the mailbox. Under the sequential engine the yielding
+// process itself performs the scheduling decision and hands control straight
+// to the next process — or keeps running, when it is still the earliest.
 func (p *Proc) yield(s procState, wake Time) {
-	p.mu.Lock()
+	p.lockStrict()
 	p.state = s
 	p.wake = wake
-	if s == stateBlocked && len(p.mailbox) > 0 {
-		p.wake = p.mailbox[0].Arrival
+	if s == stateBlocked {
+		if a, ok := p.mailbox.peekArrival(); ok && a < p.wake {
+			p.wake = a
+		}
 	}
-	p.mu.Unlock()
-	p.yielded <- struct{}{}
+	p.unlockStrict()
+	if p.sched.park(p) {
+		return
+	}
 	<-p.resume
 }
 
@@ -363,8 +478,10 @@ func (p *Proc) yield(s procState, wake Time) {
 // process is parked.
 func (p *Proc) effectiveWake() Time {
 	w := p.wake
-	if p.state == stateBlocked && len(p.mailbox) > 0 && p.mailbox[0].Arrival < w {
-		w = p.mailbox[0].Arrival
+	if p.state == stateBlocked {
+		if a, ok := p.mailbox.peekArrival(); ok && a < w {
+			w = a
+		}
 	}
 	return w
 }
@@ -381,11 +498,29 @@ func (p *Proc) catchUp() {
 	}
 }
 
+// runOutcome is an engine's termination signal, sent to Run by whichever
+// goroutine detects completion or deadlock.
+type runOutcome uint8
+
+const (
+	runAllDone runOutcome = iota
+	runDeadlock
+)
+
 // SeqEngine is the sequential engine: exactly one process executes at a
 // time, and the engine always resumes the process with the smallest wake-up
 // time (ties broken by process id), so simulations are exactly reproducible.
+//
+// Scheduling is decentralized: the process that yields fixes its own key in
+// the wake heap, reads the minimum, and resumes that process directly. Run
+// only seeds the first dispatch and then waits for completion, so the
+// steady-state cost of a scheduling event is one O(log P) heap fix plus a
+// single goroutine hand-off — and zero hand-offs when the yielding process
+// is still the earliest.
 type SeqEngine struct {
 	procs []*Proc
+	heap  schedHeap
+	done  chan runOutcome
 }
 
 // NewEngine returns an empty sequential engine.
@@ -405,56 +540,69 @@ func (e *SeqEngine) Spawn(fn func(p *Proc)) *Proc {
 // makespan: the largest final clock across processes. Run panics on deadlock
 // (all processes blocked with empty mailboxes).
 func (e *SeqEngine) Run() Time {
-	for {
-		p := e.next()
-		if p == nil {
-			break
-		}
-		if p.wake == Forever {
-			panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
-		}
-		p.catchUp()
-		p.horizon = e.horizonFor(p.id)
-		p.state = stateRunning
-		p.resume <- struct{}{}
-		<-p.yielded
+	if len(e.procs) == 0 {
+		return 0
+	}
+	e.done = make(chan runOutcome, 1)
+	e.heap.init(e.procs)
+	e.dispatch(e.heap.min())
+	if <-e.done == runDeadlock {
+		panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
 	}
 	return makespan(e.procs)
 }
 
-// next picks the live process with the smallest wake time (ties by id), or
-// nil if all processes are done.
-func (e *SeqEngine) next() *Proc {
-	var best *Proc
-	for _, p := range e.procs {
-		if p.state == stateDone {
-			continue
-		}
-		// A blocked process may have received mail since it yielded.
-		if w := p.effectiveWake(); w < p.wake {
-			p.wake = w
-		}
-		if best == nil || p.wake < best.wake {
-			best = p
-		}
-	}
-	return best
+// dispatch prepares the heap minimum q and wakes it: idle catch-up, horizon
+// (the second-best heap key), state. Called with q == e.heap.min().
+func (e *SeqEngine) dispatch(q *Proc) {
+	q.catchUp()
+	q.horizon = e.heap.secondWake()
+	q.state = stateRunning
+	q.resume <- struct{}{}
 }
 
-// horizonFor computes the smallest wake time among live processes other than
-// id.
-func (e *SeqEngine) horizonFor(id int) Time {
-	h := Forever
-	for _, q := range e.procs {
-		if q.id == id || q.state == stateDone {
-			continue
-		}
-		if w := q.effectiveWake(); w < h {
-			h = w
-		}
+// park implements the scheduler hand-off for the sequential engine. It runs
+// on the yielding process's goroutine; since exactly one process runs at a
+// time, it touches the heap without locks.
+func (e *SeqEngine) park(p *Proc) bool {
+	e.heap.fix(p.heapIdx)
+	q := e.heap.min()
+	if q.wake == Forever {
+		// Every live process is blocked with no pending messages.
+		e.done <- runDeadlock
+		return false // park forever; Run raises the panic
 	}
-	return h
+	if q == p {
+		// Still the earliest: keep running with a refreshed horizon
+		// instead of bouncing through a goroutine hand-off.
+		p.catchUp()
+		p.horizon = e.heap.secondWake()
+		p.state = stateRunning
+		return true
+	}
+	e.dispatch(q)
+	return false
 }
+
+// exit removes a completed process from the schedule and dispatches the next
+// one (or signals Run when none remain).
+func (e *SeqEngine) exit(p *Proc) {
+	e.heap.remove(p)
+	if len(e.heap) == 0 {
+		e.done <- runAllDone
+		return
+	}
+	q := e.heap.min()
+	if q.wake == Forever {
+		e.done <- runDeadlock
+		return
+	}
+	e.dispatch(q)
+}
+
+// lowered is the decrease-key path: a post woke blocked process q earlier
+// than its recorded wake time.
+func (e *SeqEngine) lowered(q *Proc) { e.heap.up(q.heapIdx) }
 
 // Procs returns the engine's processes (for stats collection after Run).
 func (e *SeqEngine) Procs() []*Proc { return e.procs }
@@ -470,22 +618,18 @@ func makespan(procs []*Proc) Time {
 	return m
 }
 
-// describe summarizes process states for deadlock diagnostics.
+// describe summarizes process states for deadlock diagnostics. Processes are
+// visited in id order (no sort needed); each one's mailbox is read under its
+// own mutex, since a parallel deadlock report races only against parked
+// workers but a consistent snapshot is still worth one uncontended lock per
+// process.
 func describe(procs []*Proc) string {
-	type row struct {
-		id    int
-		clock Time
-		state procState
-		mail  int
-	}
-	rows := make([]row, 0, len(procs))
+	var b strings.Builder
 	for _, p := range procs {
-		rows = append(rows, row{p.id, p.clock, p.state, len(p.mailbox)})
+		p.mu.Lock()
+		fmt.Fprintf(&b, "[proc %d clock=%d state=%d wake=%d mail=%d epoch=%d]",
+			p.id, p.clock, p.state, p.wake, p.mailbox.size(), p.epochGen)
+		p.mu.Unlock()
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
-	s := ""
-	for _, r := range rows {
-		s += fmt.Sprintf("[proc %d clock=%d state=%d mail=%d]", r.id, r.clock, r.state, r.mail)
-	}
-	return s
+	return b.String()
 }
