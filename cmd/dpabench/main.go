@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	dpabench -app bh|fmm -nodes 16 -runtime dpa|caching|blocking \
+//	dpabench -app bh|fmm|em3d -nodes 16 -runtime dpa|caching|blocking \
 //	         -engine sequential|parallel \
 //	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29]
+//
+// Deterministic fault injection is enabled with -faults (or any nonzero
+// fault rate): -drop-rate and -dup-rate lose and duplicate messages (the
+// reliability protocol recovers them), -jitter-rate/-max-jitter delay
+// deliveries, and -stall-rate/-stall-cycles freeze nodes transiently. The
+// schedule is a pure function of -fault-seed and each sender's program
+// order, so the same flags reproduce the same faulty run on both engines.
 //
 // With -json, dpabench instead measures the host performance of the
 // simulator itself: it benchmarks the configured run under both engines
@@ -24,6 +31,7 @@ import (
 
 	"dpa/internal/bh"
 	"dpa/internal/driver"
+	"dpa/internal/em3d"
 	"dpa/internal/fmm"
 	"dpa/internal/machine"
 	"dpa/internal/nbody"
@@ -32,7 +40,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "bh", "application: bh or fmm")
+	app := flag.String("app", "bh", "application: bh, fmm, or em3d")
 	nodes := flag.Int("nodes", 16, "simulated node count")
 	rtName := flag.String("runtime", "dpa", "runtime: dpa, caching, or blocking")
 	engine := flag.String("engine", "sequential", "simulation engine: sequential or parallel")
@@ -43,6 +51,15 @@ func main() {
 	agg := flag.Int("agg", 16, "DPA aggregation limit (1 disables, 0 unlimited)")
 	noPipe := flag.Bool("nopipe", false, "disable DPA message pipelining")
 	seed := flag.Int64("seed", 42, "workload seed")
+	iters := flag.Int("iters", 4, "EM3D iterations")
+	faults := flag.Bool("faults", false, "enable fault injection and the reliability layer")
+	dropRate := flag.Float64("drop-rate", 0, "message drop probability (implies -faults)")
+	dupRate := flag.Float64("dup-rate", 0, "message duplication probability (implies -faults)")
+	jitterRate := flag.Float64("jitter-rate", 0, "message delay-jitter probability (implies -faults)")
+	maxJitter := flag.Int64("max-jitter", 0, "maximum extra delivery delay in cycles")
+	stallRate := flag.Float64("stall-rate", 0, "transient node-stall probability per poll/wait (implies -faults)")
+	stallCycles := flag.Int64("stall-cycles", 0, "duration of one injected stall in cycles")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-schedule seed")
 	trace := flag.Bool("trace", false, "print a per-node activity Gantt chart")
 	jsonOut := flag.Bool("json", false, "benchmark the host performance of both engines and emit JSON")
 	flag.Parse()
@@ -73,6 +90,24 @@ func main() {
 	if *trace {
 		mcfg.TraceBins = 50_000 // ~0.3 ms bins at 150 MHz; Gantt re-bins to fit
 	}
+	if *faults || *dropRate > 0 || *dupRate > 0 || *jitterRate > 0 || *stallRate > 0 {
+		mcfg.Faults = machine.FaultConfig{
+			FaultParams: sim.FaultParams{
+				Seed:        *faultSeed,
+				DropRate:    *dropRate,
+				DupRate:     *dupRate,
+				JitterRate:  *jitterRate,
+				MaxJitter:   sim.Time(*maxJitter),
+				StallRate:   *stallRate,
+				StallCycles: sim.Time(*stallCycles),
+			},
+			Reliable: true,
+		}
+		if err := mcfg.Faults.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	var runOnce func(machine.Config) stats.Run
 	switch *app {
 	case "bh":
@@ -86,6 +121,12 @@ func main() {
 		prm.Terms = *terms
 		runOnce = func(cfg machine.Config) stats.Run {
 			run, _ := fmm.RunStep(cfg, spec, w, prm)
+			return run
+		}
+	case "em3d":
+		prm := em3d.DefaultParams(*bodies)
+		runOnce = func(cfg machine.Config) stats.Run {
+			run, _ := em3d.RunIters(cfg, spec, prm, *iters)
 			return run
 		}
 	default:

@@ -88,6 +88,22 @@ type (
 	RTStats = stats.RTStats
 )
 
+// Fault-injection and reliability types.
+type (
+	// FaultConfig couples fault-injection parameters with the reliability
+	// protocol's knobs; the zero value means no faults.
+	FaultConfig = machine.FaultConfig
+	// FaultParams are the seeded message-fault rates (drop, duplicate,
+	// jitter, stall).
+	FaultParams = sim.FaultParams
+	// FaultStats are the merged fault and recovery counters of a run.
+	FaultStats = stats.FaultStats
+)
+
+// ErrUnreachable is the sentinel error wrapped by a run's Err when a node
+// exhausted its retransmission budget to a peer; test with errors.Is.
+var ErrUnreachable = fm.ErrUnreachable
+
 // Nil is the null global pointer.
 var Nil = gptr.Nil
 
@@ -148,6 +164,18 @@ func WithTrace(binWidth Time) RunOption { return driver.WithTrace(binWidth) }
 // WithValidation runs the phase under the other engine too and panics if the
 // two runs' statistics diverge. The body is executed twice.
 func WithValidation() RunOption { return driver.WithValidation() }
+
+// WithFaults injects deterministic, seeded message faults for the phase and
+// enables the reliability protocol when the config calls for it. The fault
+// schedule depends only on the seed and each node's program order, so it is
+// identical under both engines.
+func WithFaults(fc FaultConfig) RunOption { return driver.WithFaults(fc) }
+
+// DefaultFaults returns a FaultConfig injecting message loss at the given
+// rate under the given seed, with the reliability protocol enabled.
+func DefaultFaults(seed uint64, dropRate float64) FaultConfig {
+	return machine.DefaultFaults(seed, dropRate)
+}
 
 // RunPhase executes one SPMD phase: body runs on every simulated node with
 // its runtime instance; a barrier closes the phase. It returns per-node

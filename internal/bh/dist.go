@@ -242,12 +242,15 @@ func SeqSteps(bodies []nbody.Body, steps int, p Params) stats.Run {
 		t := Build(work, p.LeafCap)
 		acc := make([][3]float64, len(work))
 		m := machine.New(mcfg)
-		makespan := m.Run(func(nd *machine.Node) {
+		makespan, err := m.Run(func(nd *machine.Node) {
 			for i := range work {
 				nd.Touch(uint64(i)) // body load
 				acc[i] = t.ForceOn(int32(i), p.Theta, p.Eps, p.Quad, p.Costs, nd.Charge, nil)
 			}
 		})
+		if err != nil {
+			panic(err) // single-node baseline cannot legitimately deadlock
+		}
 		total.Merge(stats.Collect(m, makespan))
 		nbody.Leapfrog(work, acc, p.DT)
 	}

@@ -75,6 +75,7 @@ func onFetchReply(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	rep := m.Payload.(fetchReply)
 	rt.replyObj = rep.obj
+	rt.replyPtr = rep.ptr
 	rt.replyOK = true
 }
 
@@ -88,7 +89,10 @@ type RT struct {
 	// Depth of nested Spawn calls, to keep TOUCH semantics: only one
 	// outstanding blocking fetch at a time per node.
 	replyObj gptr.Object
+	replyPtr gptr.Ptr
 	replyOK  bool
+
+	err error // first degradation error (unreachable owners), if any
 
 	st stats.RTStats
 }
@@ -103,9 +107,14 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 // Stats returns the node's runtime counters.
 func (rt *RT) Stats() stats.RTStats { return rt.st }
 
+// Err returns the runtime's degradation error, nil for a clean run.
+func (rt *RT) Err() error { return rt.err }
+
 // Spawn executes fn immediately. Remote pointers cost a full round trip
 // (TOUCH semantics: issue the read and block until it completes), during
-// which the node serves incoming requests but performs no local work.
+// which the node serves incoming requests but performs no local work. A
+// thread whose owner node is unreachable is abandoned (counted, surfaced
+// through Err) instead of blocking forever.
 func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	if p.IsNil() {
 		panic("blocking: Spawn with nil pointer")
@@ -113,33 +122,53 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	n := rt.EP.Node
 	n.Charge(sim.SchedOv, rt.Cfg.SpawnCost)
 	rt.st.Spawns++
-	rt.st.ThreadsRun++
 	var o gptr.Object
 	if rt.Space.LocalOrRepl(p, n.ID()) {
 		rt.st.LocalHits++
 		o = rt.Space.Get(p)
 	} else {
-		o = rt.fetch(p)
+		var ok bool
+		o, ok = rt.fetch(p)
+		if !ok {
+			rt.st.Abandoned++
+			return
+		}
 	}
+	rt.st.ThreadsRun++
 	n.Touch(p.Key())
 	fn(o)
 }
 
-// fetch performs one blocking single-object read.
-func (rt *RT) fetch(p gptr.Ptr) gptr.Object {
+// fetch performs one blocking single-object read. It reports failure when
+// the owner is declared unreachable mid-wait.
+func (rt *RT) fetch(p gptr.Ptr) (gptr.Object, bool) {
 	rt.st.Fetches++
 	rt.st.ReqMsgs++
-	rt.EP.Send(int(p.Node), rt.proto.hReq, fetchReq{ptr: p},
+	dst := int(p.Node)
+	rt.EP.Send(dst, rt.proto.hReq, fetchReq{ptr: p},
 		msgHeaderBytes+gptr.PtrBytes)
 	// Nested fetches cannot occur: Spawn runs synchronously and handlers
-	// never call Spawn, so at most one reply is outstanding per node.
-	for !rt.replyOK {
+	// never call Spawn, so at most one reply is outstanding per node —
+	// except for the late reply of an abandoned fetch, which the pointer
+	// tag filters out.
+	for !rt.replyOK || rt.replyPtr != p {
+		if rt.replyOK {
+			rt.replyOK = false
+			rt.replyObj = nil
+		}
+		if rt.EP.Unreachable(dst) {
+			if rt.err == nil {
+				rt.err = fmt.Errorf("blocking: abandoned fetch from unreachable owner %d: %w",
+					dst, fm.ErrUnreachable)
+			}
+			return nil, false
+		}
 		rt.EP.WaitAndDispatch()
 	}
 	rt.replyOK = false
 	o := rt.replyObj
 	rt.replyObj = nil
-	return o
+	return o, true
 }
 
 // Drain is a no-op: blocking threads complete at their creation sites. It

@@ -107,7 +107,10 @@ func onFetchReq(ep *fm.EP, m sim.Message) {
 func onFetchReply(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	rep := m.Payload.(fetchReply)
-	rt.pendingReplies--
+	if rt.pendingByDest[m.From] > 0 {
+		rt.pendingByDest[m.From]--
+		rt.pendingReplies--
+	}
 	if rt.Cfg.Capacity > 0 {
 		for len(rt.cache) >= rt.Cfg.Capacity && len(rt.evictQueue) > 0 {
 			victim := rt.evictQueue[0]
@@ -150,7 +153,11 @@ type RT struct {
 	readyHead int
 
 	pendingReplies int
-	st             stats.RTStats
+	pendingByDest  []int // outstanding request messages per owner node
+
+	err error // first degradation error (unreachable owners), if any
+
+	st stats.RTStats
 }
 
 type readyEntry struct {
@@ -163,12 +170,13 @@ type readyEntry struct {
 // New creates the caching runtime for one node.
 func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 	rt := &RT{
-		EP:         ep,
-		Space:      space,
-		Cfg:        cfg,
-		proto:      proto,
-		cache:      make(map[gptr.Ptr]gptr.Object),
-		waitersFor: make(map[gptr.Ptr][]Thread),
+		EP:            ep,
+		Space:         space,
+		Cfg:           cfg,
+		proto:         proto,
+		cache:         make(map[gptr.Ptr]gptr.Object),
+		waitersFor:    make(map[gptr.Ptr][]Thread),
+		pendingByDest: make([]int, ep.Node.N()),
 	}
 	ep.Ctx = rt
 	return rt
@@ -176,6 +184,9 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 
 // Stats returns the node's runtime counters.
 func (rt *RT) Stats() stats.RTStats { return rt.st }
+
+// Err returns the runtime's degradation error, nil for a clean run.
+func (rt *RT) Err() error { return rt.err }
 
 // Spawn registers a thread for pointer p. Every spawn pays a hash probe;
 // hits run from the cache, misses send a single-object request and suspend
@@ -218,11 +229,13 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	rt.EP.Send(int(p.Node), rt.proto.hReq, fetchReq{ptr: p},
 		msgHeaderBytes+gptr.PtrBytes)
 	rt.pendingReplies++
+	rt.pendingByDest[int(p.Node)]++
 	rt.trackPeak()
 }
 
 // Drain runs until all spawned work completes, serving remote requests
-// while waiting.
+// while waiting. Threads waiting on owners declared unreachable are
+// abandoned (counted, surfaced through Err) instead of waiting forever.
 func (rt *RT) Drain() {
 	pollEvery := rt.Cfg.pollEvery()
 	for {
@@ -236,11 +249,45 @@ func (rt *RT) Drain() {
 			continue
 		}
 		if rt.pendingReplies > 0 {
+			if rt.abandonUnreachable() {
+				continue
+			}
 			rt.EP.WaitAndDispatch()
 			continue
 		}
 		return
 	}
+}
+
+// abandonUnreachable drops the waiters of every pointer owned by an
+// unreachable node, reporting whether it made progress. Effects are
+// order-independent, so map iteration order cannot perturb determinism.
+func (rt *RT) abandonUnreachable() bool {
+	if !rt.EP.Degraded() {
+		return false
+	}
+	progress := false
+	for p, ws := range rt.waitersFor {
+		if !rt.EP.Unreachable(int(p.Node)) {
+			continue
+		}
+		rt.st.Abandoned += int64(len(ws))
+		rt.waiting -= len(ws)
+		delete(rt.waitersFor, p)
+		progress = true
+	}
+	for dst := range rt.pendingByDest {
+		if rt.pendingByDest[dst] > 0 && rt.EP.Unreachable(dst) {
+			rt.pendingReplies -= rt.pendingByDest[dst]
+			rt.pendingByDest[dst] = 0
+			progress = true
+		}
+	}
+	if progress && rt.err == nil {
+		rt.err = fmt.Errorf("caching: abandoned threads waiting on unreachable owners: %w",
+			fm.ErrUnreachable)
+	}
+	return progress
 }
 
 // ForAll runs spawnIter for every index. The caching runtime has no memory

@@ -173,10 +173,18 @@ func onFetchReq(ep *fm.EP, m sim.Message) {
 func onFetchReply(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	rep := m.Payload.(*fetchReply)
-	rt.pendingReplies--
+	if rt.pendingByDest[m.From] > 0 {
+		rt.pendingByDest[m.From]--
+		rt.pendingReplies--
+	}
 	for i, p := range rep.ptrs {
 		o := rep.objs[i]
 		e := rt.table[p]
+		if e == nil || e.arrived {
+			// Only possible under degradation: the entry was abandoned
+			// (owner declared unreachable) before this late reply landed.
+			continue
+		}
 		e.obj = o
 		e.arrived = true
 		rt.arrivedBytes += int64(o.ByteSize())
@@ -224,6 +232,9 @@ type RT struct {
 	aggCount int          // total queued pointers
 
 	pendingReplies int
+	pendingByDest  []int // outstanding request messages per owner node
+
+	err error // first degradation error (unreachable owners), if any
 
 	arrivedBytes int64
 	st           stats.RTStats
@@ -234,12 +245,13 @@ type RT struct {
 // fetch handlers find it through ep.Ctx).
 func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 	rt := &RT{
-		EP:    ep,
-		Space: space,
-		Cfg:   cfg,
-		proto: proto,
-		table: make(map[gptr.Ptr]*dEntry),
-		agg:   make([][]gptr.Ptr, ep.Node.N()),
+		EP:            ep,
+		Space:         space,
+		Cfg:           cfg,
+		proto:         proto,
+		table:         make(map[gptr.Ptr]*dEntry),
+		agg:           make([][]gptr.Ptr, ep.Node.N()),
+		pendingByDest: make([]int, ep.Node.N()),
 	}
 	ep.Ctx = rt
 	return rt
@@ -247,6 +259,9 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 
 // Stats returns the node's runtime counters.
 func (rt *RT) Stats() stats.RTStats { return rt.st }
+
+// Err returns the runtime's degradation error, nil for a clean run.
+func (rt *RT) Err() error { return rt.err }
 
 // Spawn registers a thread labeled with pointer p — the paper's
 // thread-creation site. If p is local or replicated the thread is
@@ -321,6 +336,7 @@ func (rt *RT) flushDest(dst int) {
 		rt.EP.Send(dst, rt.proto.hReq, req,
 			msgHeaderBytes+gptr.PtrBytes*len(req.ptrs))
 		rt.pendingReplies++
+		rt.pendingByDest[dst]++
 		rt.st.ReqMsgs++
 	}
 	rt.aggCount -= len(ptrs)
@@ -339,7 +355,10 @@ func (rt *RT) FlushAll() {
 // Drain runs the scheduler until all spawned work (including transitively
 // spawned threads) has completed: the ready queue is empty, no requests are
 // buffered, and no replies are outstanding. While waiting for replies the
-// node serves incoming requests from other nodes.
+// node serves incoming requests from other nodes. If an owner node becomes
+// unreachable (retry budget exhausted under fault injection), the threads
+// waiting on its objects are abandoned — counted and surfaced through Err —
+// instead of waiting forever.
 func (rt *RT) Drain() {
 	pollEvery := rt.Cfg.pollEvery()
 	for {
@@ -359,11 +378,47 @@ func (rt *RT) Drain() {
 			continue
 		}
 		if rt.pendingReplies > 0 {
+			if rt.abandonUnreachable() {
+				continue
+			}
 			rt.EP.WaitAndDispatch()
 			continue
 		}
 		return
 	}
+}
+
+// abandonUnreachable drops all fetch state destined for owners declared
+// unreachable, reporting whether it made progress. The table scan's effects
+// are order-independent (counter sums and deletions only), so the map
+// iteration order cannot perturb determinism.
+func (rt *RT) abandonUnreachable() bool {
+	if !rt.EP.Degraded() {
+		return false
+	}
+	progress := false
+	for p, e := range rt.table {
+		if e.arrived || !rt.EP.Unreachable(int(p.Node)) {
+			continue
+		}
+		rt.st.Abandoned += int64(len(e.waiters))
+		rt.waiting -= len(e.waiters)
+		delete(rt.table, p)
+		rt.pool.putEntry(e)
+		progress = true
+	}
+	for dst := range rt.pendingByDest {
+		if rt.pendingByDest[dst] > 0 && rt.EP.Unreachable(dst) {
+			rt.pendingReplies -= rt.pendingByDest[dst]
+			rt.pendingByDest[dst] = 0
+			progress = true
+		}
+	}
+	if progress && rt.err == nil {
+		rt.err = fmt.Errorf("core: abandoned threads waiting on unreachable owners: %w",
+			fm.ErrUnreachable)
+	}
+	return progress
 }
 
 // runOne dispatches the next ready thread under the configured queue

@@ -27,6 +27,9 @@ type Runtime interface {
 	ForAll(n int, spawnIter func(i int))
 	// Stats returns the node's runtime counters.
 	Stats() stats.RTStats
+	// Err returns the node's degradation error (work abandoned because a
+	// peer became unreachable under fault injection), nil for a clean run.
+	Err() error
 }
 
 // Interface conformance (compile-time checks via adapters below).
@@ -191,6 +194,8 @@ type runConfig struct {
 	engineSet bool
 	traceBins sim.Time
 	validate  bool
+	faults    machine.FaultConfig
+	faultsSet bool
 }
 
 // WithEngine selects the simulation engine: sim.Sequential (the default) or
@@ -215,6 +220,14 @@ func WithValidation() RunOption {
 	return func(rc *runConfig) { rc.validate = true }
 }
 
+// WithFaults injects deterministic message faults (and, when the config
+// calls for it, enables the fm reliability protocol) for the phase. The
+// fault schedule is a pure function of the config's seed and each node's
+// program order, so it is identical under both engines.
+func WithFaults(fc machine.FaultConfig) RunOption {
+	return func(rc *runConfig) { rc.faults = fc; rc.faultsSet = true }
+}
+
 // RunPhase executes one SPMD phase: body runs on every node with its
 // runtime; a barrier closes the phase (nodes keep serving until everyone is
 // done). The returned Run has per-node breakdowns and merged runtime
@@ -232,6 +245,9 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 	}
 	if rc.traceBins > 0 {
 		mcfg.TraceBins = rc.traceBins
+	}
+	if rc.faultsSet {
+		mcfg.Faults = rc.faults
 	}
 	if err := spec.Validate(); err != nil {
 		panic("driver: invalid spec: " + err.Error())
@@ -254,25 +270,52 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 }
 
 // runOnce executes the phase on a fresh machine and collects statistics.
+// Under fault injection the endpoints quiesce the reliability protocol once
+// before the closing barrier — while every peer still polls and acks — and
+// once after, for the barrier traffic itself; both are no-ops when the
+// layer is off.
 func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 	body func(rt Runtime, ep *fm.EP, nd *machine.Node)) stats.Run {
 
 	protos := NewProtos()
 	m := machine.New(mcfg)
 	rts := make([]Runtime, mcfg.Nodes)
-	makespan := m.Run(func(nd *machine.Node) {
+	eps := make([]*fm.EP, mcfg.Nodes)
+	makespan, engErr := m.Run(func(nd *machine.Node) {
 		ep := fm.NewEP(protos.Net, nd)
 		rt, err := protos.NewRuntime(spec, ep, space)
 		if err != nil {
 			panic(err) // spec was validated before the machine started
 		}
 		rts[nd.ID()] = rt
+		eps[nd.ID()] = ep
 		body(rt, ep, nd)
+		ep.Quiesce()
 		ep.Barrier()
+		ep.Quiesce()
 	})
+	if engErr != nil && !mcfg.Faults.Active() {
+		// Without fault injection a deadlock is a runtime bug; fail loudly
+		// as before. Under faults it is a legitimate degraded outcome
+		// (e.g. a node blocked on a peer that declared it unreachable) and
+		// is surfaced through the run result instead.
+		panic(engErr)
+	}
 	run := stats.Collect(m, makespan)
+	run.AddErr(engErr)
 	for _, rt := range rts {
+		if rt == nil {
+			continue // node never reached its body (deadlocked machine)
+		}
 		run.MergeRT(rt.Stats())
+		run.AddErr(rt.Err())
+	}
+	for _, ep := range eps {
+		if ep == nil {
+			continue
+		}
+		run.MergeFaults(ep.FaultStats())
+		run.AddErr(ep.Err())
 	}
 	return run
 }

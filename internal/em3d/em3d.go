@@ -183,7 +183,7 @@ func SeqIterate(prm Params, nodes, iters int) (e, h []float64) {
 func SeqStep(prm Params) stats.Run {
 	g := Build(prm, 1)
 	m := machine.New(machine.DefaultT3D(1))
-	makespan := m.Run(func(nd *machine.Node) {
+	makespan, err := m.Run(func(nd *machine.Node) {
 		for _, ns := range [][]*GraphNode{g.E, g.H} {
 			for _, n := range ns {
 				nd.Touch(uint64(n.Idx))
@@ -197,6 +197,9 @@ func SeqStep(prm Params) stats.Run {
 			}
 		}
 	})
+	if err != nil {
+		panic(err) // single-node baseline cannot legitimately deadlock
+	}
 	return stats.Collect(m, makespan)
 }
 

@@ -3,6 +3,11 @@
 // T3D. A message names a handler; handlers run on the receiving node when it
 // polls the network. The package also provides the collective operations the
 // applications need (barrier, all-reduce) built from the same primitives.
+//
+// When the machine config enables fault injection with message loss or
+// duplication, endpoints transparently run a reliability protocol (send
+// windows, acks, timeout-driven retransmission, duplicate suppression — see
+// reliable.go) underneath the same Send/Poll surface.
 package fm
 
 import (
@@ -29,6 +34,8 @@ const (
 	hBarrierRelease
 	hReduceArrive
 	hReduceResult
+	hRelData
+	hRelAck
 	numInternal
 )
 
@@ -39,11 +46,19 @@ func NewNet() *Net {
 	n.handlers[hBarrierRelease] = (*EP).onBarrierRelease
 	n.handlers[hReduceArrive] = (*EP).onReduceArrive
 	n.handlers[hReduceResult] = (*EP).onReduceResult
+	n.handlers[hRelData] = (*EP).onRelData
+	n.handlers[hRelAck] = (*EP).onRelAck
 	return n
 }
 
-// Register adds a handler and returns its id. Register must be called before
-// any endpoint is created.
+// Register adds a handler and returns its id.
+//
+// Panic contract (intentional): Register panics once any endpoint exists.
+// Handler ids are protocol constants shared by every node of the SPMD
+// program; registering after some node has started running would give nodes
+// diverging handler tables, which no error return could meaningfully
+// recover from. Registration happens in package-level protocol setup (see
+// driver.NewProtos), so a late Register is always a programming bug.
 func (n *Net) Register(h Handler) int {
 	if n.sealed.Load() {
 		panic("fm: Register after endpoints created")
@@ -72,6 +87,17 @@ type EP struct {
 	net  *Net
 	Ctx  any
 
+	// rel is the reliability protocol state; nil when the layer is off
+	// (the default), which keeps the fault-free message path untouched.
+	rel *relState
+	// fs accumulates protocol-level fault counters (merged into the run).
+	fs FaultStats
+
+	// errs records degradation errors (unreachable destinations, unknown
+	// handlers) in program order; capped, with the overflow counted.
+	errs        []error
+	errsDropped int
+
 	barrierCount int // arrivals seen (node 0 only)
 	barrierEpoch int // releases seen
 	barrierAt    int // barriers this node has completed
@@ -83,11 +109,47 @@ type EP struct {
 }
 
 // NewEP creates the endpoint for a node. Call once per node inside the SPMD
-// main function.
+// main function. If the machine config requires the reliability layer
+// (message loss or duplication injected, or explicitly requested), the
+// endpoint enables it transparently.
 func NewEP(net *Net, n *machine.Node) *EP {
 	net.sealed.Store(true)
-	return &EP{Node: n, net: net}
+	ep := &EP{Node: n, net: net}
+	if fc := &n.Cfg().Faults; fc.NeedsReliability() {
+		ep.rel = newRelState(fc, n.N())
+	}
+	return ep
 }
+
+// maxRecordedErrs caps the errors kept per endpoint; the rest are counted
+// in errsDropped so a fault storm cannot accumulate unbounded error chains.
+const maxRecordedErrs = 8
+
+// fail records a degradation error on the endpoint.
+func (ep *EP) fail(err error) {
+	if len(ep.errs) < maxRecordedErrs {
+		ep.errs = append(ep.errs, err)
+		return
+	}
+	ep.errsDropped++
+}
+
+// Err returns the endpoint's recorded degradation errors joined (nil for a
+// clean run). The result is deterministic: errors are recorded in the
+// node's program order.
+func (ep *EP) Err() error {
+	if len(ep.errs) == 0 {
+		return nil
+	}
+	err := joinErrors(ep.errs)
+	if ep.errsDropped > 0 {
+		err = fmt.Errorf("%w (and %d more errors)", err, ep.errsDropped)
+	}
+	return err
+}
+
+// FaultStats returns the endpoint's protocol-level fault counters.
+func (ep *EP) FaultStats() FaultStats { return ep.fs }
 
 // dispatch runs handlers for the given messages, charging handler cost.
 //
@@ -99,32 +161,85 @@ func NewEP(net *Net, n *machine.Node) *EP {
 // mutate runtime tables, or push ready threads; none of them drains.
 func (ep *EP) dispatch(ms []sim.Message) int {
 	for _, m := range ms {
-		if m.Handler < 0 || m.Handler >= len(ep.net.handlers) {
-			panic(fmt.Sprintf("fm: node %d received unknown handler %d", ep.Node.ID(), m.Handler))
-		}
-		ep.Node.Charge(sim.HandlerOv, ep.Node.Cfg().HandlerCost)
-		ep.net.handlers[m.Handler](ep, m)
+		ep.invoke(m)
 	}
 	return len(ms)
 }
 
+// invoke runs one message's handler. A message naming an unregistered
+// handler is counted and recorded as a *HandlerError rather than killing
+// the run: under fault injection (and in a real system) a malformed message
+// must not be fatal, and the error surfaces through the run result.
+func (ep *EP) invoke(m sim.Message) {
+	if m.Handler < 0 || m.Handler >= len(ep.net.handlers) {
+		ep.fs.UnknownHandler++
+		ep.fail(&HandlerError{Node: ep.Node.ID(), From: m.From, Handler: m.Handler})
+		return
+	}
+	ep.Node.Charge(sim.HandlerOv, ep.Node.Cfg().HandlerCost)
+	ep.net.handlers[m.Handler](ep, m)
+}
+
 // Poll checks the network once and dispatches any arrived messages,
-// returning how many were handled.
-func (ep *EP) Poll() int { return ep.dispatch(ep.Node.Poll()) }
+// returning how many were handled. With the reliability layer on it also
+// fires any due retransmission timers.
+func (ep *EP) Poll() int {
+	n := ep.dispatch(ep.Node.Poll())
+	if ep.rel != nil {
+		ep.relPump()
+	}
+	return n
+}
 
 // WaitAndDispatch blocks until at least one message arrives (idle time),
-// then dispatches everything that has arrived.
-func (ep *EP) WaitAndDispatch() int { return ep.dispatch(ep.Node.WaitMessage()) }
+// then dispatches everything that has arrived. With reliable frames in
+// flight the wait is bounded by the next retransmission deadline, so
+// recovery proceeds even when the network has gone silent.
+func (ep *EP) WaitAndDispatch() int {
+	if ep.rel != nil {
+		if dl, ok := ep.rel.nextDeadline(); ok {
+			n := ep.dispatch(ep.Node.WaitMessageUntil(dl))
+			ep.relPump()
+			return n
+		}
+	}
+	n := ep.dispatch(ep.Node.WaitMessage())
+	if ep.rel != nil {
+		ep.relPump()
+	}
+	return n
+}
 
-// Send sends an active message to dst.
+// Send sends an active message to dst. With the reliability layer on,
+// cross-node messages travel as reliable frames (windowed, acked,
+// retransmitted); sends to a destination already declared unreachable are
+// dropped and counted.
 func (ep *EP) Send(dst, handler int, payload any, bytes int) {
+	if ep.rel != nil && dst != ep.Node.ID() {
+		ep.relSend(dst, handler, payload, bytes)
+		return
+	}
 	ep.Node.Send(dst, handler, payload, bytes)
 }
+
+// Unreachable reports whether dst has been declared unreachable (its retry
+// budget was exhausted). Runtimes consult it to abandon work destined for
+// dead nodes instead of waiting forever.
+func (ep *EP) Unreachable(dst int) bool {
+	return ep.rel != nil && ep.rel.dest[dst].dead
+}
+
+// Degraded reports whether any destination is unreachable from this node.
+func (ep *EP) Degraded() bool { return ep.rel != nil && ep.rel.deadCount > 0 }
 
 // Barrier blocks until every node has entered the same barrier. While
 // waiting, the node keeps dispatching handlers, so it continues to serve
 // remote requests — this is how nodes that finish their local work early
 // stay responsive (the paper's runtimes behave the same way under polling).
+//
+// Under fault injection the barrier degrades instead of hanging: a node
+// whose sends have exhausted their retries stops waiting (recording the
+// failure), and node 0 releases whoever it can still reach.
 func (ep *EP) Barrier() {
 	ep.barrierAt++
 	n := ep.Node.N()
@@ -133,10 +248,16 @@ func (ep *EP) Barrier() {
 		return
 	}
 	if ep.Node.ID() == 0 {
-		for ep.barrierCount < n-1 {
+		for ep.barrierCount < n-1 && !ep.Degraded() {
 			ep.WaitAndDispatch()
 		}
-		ep.barrierCount -= n - 1
+		if ep.barrierCount < n-1 {
+			ep.fail(&CollectiveError{Op: "barrier", Node: 0,
+				Missing: n - 1 - ep.barrierCount})
+			ep.barrierCount = 0
+		} else {
+			ep.barrierCount -= n - 1
+		}
 		for j := 1; j < n; j++ {
 			ep.Send(j, hBarrierRelease, nil, 4)
 		}
@@ -144,33 +265,48 @@ func (ep *EP) Barrier() {
 		return
 	}
 	ep.Send(0, hBarrierArrive, nil, 4)
-	for ep.barrierEpoch < ep.barrierAt {
+	for ep.barrierEpoch < ep.barrierAt && !ep.Degraded() {
 		ep.WaitAndDispatch()
+	}
+	if ep.barrierEpoch < ep.barrierAt {
+		ep.fail(&CollectiveError{Op: "barrier", Node: ep.Node.ID(), Missing: 1})
+		ep.barrierEpoch = ep.barrierAt
 	}
 }
 
 // AllReduceSum computes the global sum of v across all nodes. Like Barrier,
-// it keeps dispatching while waiting.
+// it keeps dispatching while waiting, and degrades (returning a partial
+// sum and recording the failure) when peers become unreachable.
 func (ep *EP) AllReduceSum(v float64) float64 {
 	n := ep.Node.N()
 	if n == 1 {
 		return v
 	}
 	if ep.Node.ID() == 0 {
-		for ep.reduceCount < n-1 {
+		for ep.reduceCount < n-1 && !ep.Degraded() {
 			ep.WaitAndDispatch()
+		}
+		if ep.reduceCount < n-1 {
+			ep.fail(&CollectiveError{Op: "allreduce", Node: 0,
+				Missing: n - 1 - ep.reduceCount})
+			ep.reduceCount = 0
+		} else {
+			ep.reduceCount -= n - 1
 		}
 		total := ep.reduceAcc + v
 		ep.reduceAcc = 0
-		ep.reduceCount -= n - 1
 		for j := 1; j < n; j++ {
 			ep.Send(j, hReduceResult, total, 8)
 		}
 		return total
 	}
 	ep.Send(0, hReduceArrive, v, 8)
-	for !ep.reduceDone {
+	for !ep.reduceDone && !ep.Degraded() {
 		ep.WaitAndDispatch()
+	}
+	if !ep.reduceDone {
+		ep.fail(&CollectiveError{Op: "allreduce", Node: ep.Node.ID(), Missing: 1})
+		return v
 	}
 	ep.reduceDone = false
 	r := ep.reduceResult

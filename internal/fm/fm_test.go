@@ -1,6 +1,7 @@
 package fm
 
 import (
+	"errors"
 	"testing"
 
 	"dpa/internal/machine"
@@ -177,7 +178,7 @@ func TestRegisterAfterSealPanics(t *testing.T) {
 	net.Register(func(ep *EP, m sim.Message) {})
 }
 
-func TestUnknownHandlerPanics(t *testing.T) {
+func TestUnknownHandlerTypedError(t *testing.T) {
 	net := NewNet()
 	m := machine.New(machine.DefaultT3D(2))
 	m.Run(func(nd *machine.Node) {
@@ -186,11 +187,23 @@ func TestUnknownHandlerPanics(t *testing.T) {
 			ep.Send(1, 999, nil, 4)
 			return
 		}
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic for unknown handler")
-			}
-		}()
 		ep.WaitAndDispatch()
+		err := ep.Err()
+		if err == nil {
+			t.Error("expected recorded error for unknown handler")
+			return
+		}
+		if !errors.Is(err, ErrUnknownHandler) {
+			t.Errorf("error %v is not ErrUnknownHandler", err)
+		}
+		var he *HandlerError
+		if !errors.As(err, &he) {
+			t.Errorf("error %v is not *HandlerError", err)
+		} else if he.Handler != 999 || he.Node != 1 || he.From != 0 {
+			t.Errorf("bad HandlerError %+v", he)
+		}
+		if fs := ep.FaultStats(); fs.UnknownHandler != 1 {
+			t.Errorf("UnknownHandler count = %d, want 1", fs.UnknownHandler)
+		}
 	})
 }

@@ -227,8 +227,11 @@ func DirectSolve(bodies []nbody.Body) *Result {
 func SeqStep(bodies []nbody.Body, prm Params) (stats.Run, *Result) {
 	m := machine.New(machine.DefaultT3D(1))
 	var res *Result
-	makespan := m.Run(func(nd *machine.Node) {
+	makespan, err := m.Run(func(nd *machine.Node) {
 		res = Solve(bodies, prm, nd.Charge)
 	})
+	if err != nil {
+		panic(err) // single-node baseline cannot legitimately deadlock
+	}
 	return stats.Collect(m, makespan), res
 }

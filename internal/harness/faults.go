@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"dpa/internal/bh"
+	"dpa/internal/driver"
+	"dpa/internal/em3d"
+	"dpa/internal/machine"
+	"dpa/internal/stats"
+)
+
+// X5: loss-rate sweep. The paper assumes reliable delivery; this extension
+// measures what that assumption costs when it has to be earned: seeded
+// message loss from 0% to 10% with the retransmission protocol recovering
+// every drop, on the EM3D kernel and the Barnes-Hut force phase.
+
+func init() {
+	register(Experiment{ID: "X5", Title: "Message-loss sweep: reliability overhead and recovery (extension)", Run: runX5})
+}
+
+// faultSweepRates are the injected drop rates; 0% still runs the reliability
+// protocol (window, acks, timers) to isolate its fault-free overhead.
+var faultSweepRates = []float64{0, 0.01, 0.02, 0.05, 0.10}
+
+const faultSweepSeed = 7
+
+func runX5(s *Session) {
+	const nodes = 16
+	spec := driver.DPASpec(50)
+	s.printf("Seeded message loss on %d nodes under DPA(50), recovered by the\n", nodes)
+	s.printf("per-destination-window retransmission protocol. The 0%% row runs the\n")
+	s.printf("protocol with no loss (pure overhead: acks and sequencing); overhead\n")
+	s.printf("is relative to the fault-free run without the reliability layer.\n\n")
+
+	// Fault-free baselines, no reliability layer. The EM3D run is direct (the
+	// session has no EM3D memo); Barnes-Hut reuses the session memo.
+	em3dBase, _ := em3d.RunIters(machine.DefaultT3D(nodes), spec, em3d.DefaultParams(s.W.EM3DNodes), 1)
+	bhBase := s.BH(nodes, spec)
+
+	apps := []struct {
+		name string
+		base stats.Run
+		run  func(machine.Config) stats.Run
+	}{
+		{"EM3D", em3dBase, func(cfg machine.Config) stats.Run {
+			r, _ := em3d.RunIters(cfg, spec, em3d.DefaultParams(s.W.EM3DNodes), 1)
+			return r
+		}},
+		{"BH", bhBase, func(cfg machine.Config) stats.Run {
+			return bh.RunSteps(cfg, spec, s.bhBodies, s.W.BHSteps, s.bhPar)
+		}},
+	}
+
+	for _, app := range apps {
+		s.printf("%s (fault-free: %.2fms)\n", app.name, s.Clock().Seconds(app.base.Makespan)*1e3)
+		s.printf("%8s %12s %10s %10s %12s %10s\n",
+			"loss", "time", "dropped", "retrans", "dups suppr", "overhead")
+		for _, rate := range faultSweepRates {
+			cfg := machine.DefaultT3D(nodes)
+			cfg.Faults = machine.DefaultFaults(faultSweepSeed, rate)
+			r := app.run(cfg)
+			over := float64(r.Makespan)/float64(app.base.Makespan) - 1
+			status := ""
+			if r.Err != nil {
+				status = "  DEGRADED"
+			}
+			s.printf("%7.0f%% %10.2fms %10d %10d %12d %+9.1f%%%s\n",
+				rate*100, s.Clock().Seconds(r.Makespan)*1e3,
+				r.Faults.Dropped, r.Faults.Retransmits, r.Faults.DupsSuppressed,
+				over*100, status)
+		}
+		s.printf("\n")
+	}
+}

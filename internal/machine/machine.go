@@ -60,6 +60,11 @@ type Config struct {
 	// engine runs simulated nodes on real goroutines, synchronized by
 	// lookahead epochs derived from the machine's minimum message delay.
 	Engine sim.EngineKind
+
+	// Faults configures deterministic fault injection and the fm
+	// reliability protocol. The zero value disables both, leaving every
+	// result bit-identical to a fault-free machine.
+	Faults FaultConfig
 }
 
 // Lookahead returns the machine's minimum cross-node message delay in
@@ -117,6 +122,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Engine == sim.Parallel && c.Lookahead() <= 0 {
 		return fmt.Errorf("machine: parallel engine requires SendOverhead+LatencyBase > 0 (lookahead = %d)", c.Lookahead())
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -177,15 +185,31 @@ type Machine struct {
 	eng   sim.Engine
 	nodes []*Node
 	trace *Timeline
+	// plan draws the deterministic fault schedule; nil when no faults are
+	// injected (the hot-path test).
+	plan *sim.FaultPlan
 }
 
-// New creates a machine. It panics on invalid configuration (configs are
-// built by our own code paths; errors here are programming bugs).
+// ErrRunTwice reports a second Run call on the same Machine. A Machine hosts
+// exactly one SPMD program execution; build a new one per run.
+var ErrRunTwice = fmt.Errorf("machine: Run called twice")
+
+// New creates a machine.
+//
+// Panic contract (intentional): New panics on an invalid configuration.
+// Configs reach New through our own code paths (DefaultT3D plus field
+// tweaks, or the driver, which validates specs up front), so a rejected
+// config here is a programming bug, not an input error — fail loudly at the
+// construction site rather than propagating an error through every caller.
 func New(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{Cfg: cfg, eng: sim.NewEngineOf(cfg.Engine, cfg.Lookahead())}
+	m := &Machine{
+		Cfg:  cfg,
+		eng:  sim.NewEngineOf(cfg.Engine, cfg.Lookahead()),
+		plan: sim.NewFaultPlan(cfg.Faults.FaultParams),
+	}
 	if cfg.TraceBins > 0 {
 		m.EnableTrace(cfg.TraceBins)
 	}
@@ -193,10 +217,16 @@ func New(cfg Config) *Machine {
 }
 
 // Run executes main on every node (SPMD) and returns the makespan in cycles.
-// It may be called once per Machine.
-func (m *Machine) Run(main func(n *Node)) sim.Time {
+// It may be called once per Machine; a second call returns ErrRunTwice.
+//
+// A non-nil error otherwise is the engine's: a *sim.DeadlockError when every
+// node blocked with no pending messages. Under fault injection that is a
+// reachable outcome (e.g. loss beyond what the retry budget recovers), so it
+// is returned rather than panicking; the per-node statistics remain valid up
+// to the deadlock point.
+func (m *Machine) Run(main func(n *Node)) (sim.Time, error) {
 	if m.nodes != nil {
-		panic("machine: Run called twice")
+		return 0, ErrRunTwice
 	}
 	m.nodes = make([]*Node, m.Cfg.Nodes)
 	for i := 0; i < m.Cfg.Nodes; i++ {
@@ -237,6 +267,19 @@ type Node struct {
 	// Data-cache model accounting.
 	CacheHits   int64
 	CacheMisses int64
+
+	// Fault-injection accounting (what the fault plan did to this node's
+	// outgoing messages and its polls).
+	FaultDrops  int64 // messages silently lost
+	FaultDups   int64 // messages delivered twice
+	FaultJitter int64 // messages delayed beyond nominal transit
+	FaultStalls int64 // transient stalls injected at network checks
+
+	// Deterministic fault-draw counters: faultSeq advances per
+	// fault-eligible send, stallSeq per network check, both in the node's
+	// program order — the (seed, sender, seq) key of the fault PRNG.
+	faultSeq uint64
+	stallSeq uint64
 }
 
 // ID returns the node id (0-based).
@@ -261,13 +304,53 @@ func (n *Node) Charges() [sim.NumCategories]sim.Time { return n.proc.Charges() }
 // serialization (bytes/bandwidth share of injection) to the sender, and
 // schedules arrival after network transit. The receiver pays its own
 // overhead when it polls.
+//
+// Send is subject to fault injection: under a fault plan the message may be
+// dropped, duplicated, or delayed (jitter). Jitter and duplication only add
+// delay beyond the nominal transit time, so they respect the parallel
+// engine's lookahead contract.
 func (n *Node) Send(dst, handler int, payload any, bytes int) {
+	n.send(dst, handler, payload, bytes, false)
+}
+
+// SendControl is Send for control-plane messages (reliability acks): it is
+// exempt from drop and duplication so the recovery protocol itself cannot
+// livelock, a standard simplification in fault models that target the data
+// plane. Jitter still applies — control messages share the network.
+func (n *Node) SendControl(dst, handler int, payload any, bytes int) {
+	n.send(dst, handler, payload, bytes, true)
+}
+
+func (n *Node) send(dst, handler int, payload any, bytes int, control bool) {
 	c := &n.mach.Cfg
 	n.proc.Charge(sim.SendOv, c.SendOverhead)
 	arrival := n.proc.Now() + c.TransitTime(n.id, dst, bytes)
-	n.proc.Post(dst, sim.Message{Arrival: arrival, Handler: handler, Payload: payload, Bytes: bytes})
+	msg := sim.Message{Arrival: arrival, Handler: handler, Payload: payload, Bytes: bytes}
 	n.MsgsSent++
 	n.BytesSent += int64(bytes)
+	if plan := n.mach.plan; plan != nil {
+		// Every send draws exactly one fate — including control sends,
+		// which consume a draw (for jitter) but ignore drop/dup. Keeping
+		// the counter in lockstep with program order is what makes the
+		// schedule engine-independent.
+		fate := plan.Message(n.id, n.faultSeq)
+		n.faultSeq++
+		if fate.Drop && !control {
+			n.FaultDrops++
+			return
+		}
+		if fate.Jitter > 0 {
+			n.FaultJitter++
+			msg.Arrival += fate.Jitter
+		}
+		if fate.Dup && !control {
+			n.FaultDups++
+			dup := msg
+			dup.Arrival = arrival + fate.DupJitter
+			n.proc.Post(dst, dup)
+		}
+	}
+	n.proc.Post(dst, msg)
 }
 
 // Poll checks the network, charging the poll cost, and returns any arrived
@@ -280,6 +363,7 @@ func (n *Node) Send(dst, handler int, payload any, bytes int) {
 // messages across polls must copy them out first.
 func (n *Node) Poll() []sim.Message {
 	c := &n.mach.Cfg
+	n.maybeStall()
 	n.proc.Charge(sim.PollOv, c.PollCost)
 	ms := n.proc.Poll()
 	n.account(ms)
@@ -290,11 +374,40 @@ func (n *Node) Poll() []sim.Message {
 // arrived messages like Poll (including the buffer-reuse rule: the result is
 // valid only until the next Poll or WaitMessage on this node).
 func (n *Node) WaitMessage() []sim.Message {
+	n.maybeStall()
 	ms := n.proc.WaitMessage()
 	c := &n.mach.Cfg
 	n.proc.Charge(sim.PollOv, c.PollCost)
 	n.account(ms)
 	return ms
+}
+
+// WaitMessageUntil is WaitMessage with a virtual-time deadline: it returns
+// no later (in virtual time) than deadline, with an empty result if nothing
+// arrived. The reliability layer bounds its waits with it so retransmission
+// timers fire even when the network has gone silent.
+func (n *Node) WaitMessageUntil(deadline sim.Time) []sim.Message {
+	n.maybeStall()
+	ms := n.proc.WaitMessageUntil(deadline)
+	c := &n.mach.Cfg
+	n.proc.Charge(sim.PollOv, c.PollCost)
+	n.account(ms)
+	return ms
+}
+
+// maybeStall injects a transient node stall at a network check, drawn from
+// the fault plan in program order (see FaultParams.StallRate).
+func (n *Node) maybeStall() {
+	plan := n.mach.plan
+	if plan == nil {
+		return
+	}
+	d := plan.Stall(n.id, n.stallSeq)
+	n.stallSeq++
+	if d > 0 {
+		n.FaultStalls++
+		n.proc.Charge(sim.Stall, d)
+	}
 }
 
 // HasMessage reports whether a message has arrived, without cost.

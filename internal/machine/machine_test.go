@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -129,7 +130,7 @@ func TestParallelEngineMachineRun(t *testing.T) {
 		cfg := DefaultT3D(2)
 		cfg.Engine = kind
 		m := New(cfg)
-		spans[i] = m.Run(body)
+		spans[i], _ = m.Run(body)
 		charges[i] = m.Nodes()[1].Charges()
 	}
 	if spans[0] != spans[1] {
@@ -144,7 +145,7 @@ func TestSendReceiveCosts(t *testing.T) {
 	cfg := DefaultT3D(2)
 	m := New(cfg)
 	var sendCharged, recvCharged sim.Time
-	makespan := m.Run(func(n *Node) {
+	makespan, _ := m.Run(func(n *Node) {
 		if n.ID() == 0 {
 			n.Send(1, 7, "payload", 100)
 			sendCharged = n.Charges()[sim.SendOv]
@@ -262,15 +263,14 @@ func TestSeconds(t *testing.T) {
 	}
 }
 
-func TestRunTwicePanics(t *testing.T) {
+func TestRunTwiceTypedError(t *testing.T) {
 	m := New(DefaultT3D(1))
-	m.Run(func(n *Node) {})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on second Run")
-		}
-	}()
-	m.Run(func(n *Node) {})
+	if _, err := m.Run(func(n *Node) {}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := m.Run(func(n *Node) {}); !errors.Is(err, ErrRunTwice) {
+		t.Fatalf("second Run: err = %v, want ErrRunTwice", err)
+	}
 }
 
 func TestSPMDAllNodesRun(t *testing.T) {

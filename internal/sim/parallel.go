@@ -130,7 +130,7 @@ func (e *ParEngine) openEpoch(self *Proc) bool {
 	}
 	if gvt == Forever {
 		// Every live process is blocked with no pending messages; Run
-		// raises the panic while the workers stay parked.
+		// reports the DeadlockError while the workers stay parked.
 		e.done <- runDeadlock
 		return false
 	}
@@ -186,18 +186,19 @@ func (e *ParEngine) openEpoch(self *Proc) bool {
 }
 
 // Run executes all processes until every one has returned. It returns the
-// makespan: the largest final clock across processes. Run panics on deadlock
-// (all processes blocked with empty mailboxes).
-func (e *ParEngine) Run() Time {
+// makespan: the largest final clock across processes. On deadlock (all
+// processes blocked with empty mailboxes) it returns a *DeadlockError; the
+// blocked worker goroutines stay parked.
+func (e *ParEngine) Run() (Time, error) {
 	if len(e.procs) == 0 {
-		return 0
+		return 0, nil
 	}
 	e.done = make(chan runOutcome, 1)
 	e.openEpoch(nil)
 	if <-e.done == runDeadlock {
-		panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
+		return makespan(e.procs), &DeadlockError{Detail: describe(e.procs)}
 	}
-	return makespan(e.procs)
+	return makespan(e.procs), nil
 }
 
 // Procs returns the engine's processes (for stats collection after Run).

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -50,11 +51,11 @@ func TestParallelMatchesSequentialBroadcast(t *testing.T) {
 
 	seq := NewEngine()
 	build(seq)
-	seqMake := seq.Run()
+	seqMake, _ := seq.Run()
 
 	par := NewParallel(delay)
 	build(par)
-	parMake := par.Run()
+	parMake, _ := par.Run()
 
 	if seqMake != parMake {
 		t.Fatalf("makespan: sequential %d, parallel %d", seqMake, parMake)
@@ -95,7 +96,8 @@ func TestParallelPingPongMakespan(t *testing.T) {
 	}
 	e := NewParallel(hop)
 	build(e)
-	if got, want := e.Run(), Time((rounds+2)*hop); got != want {
+	got, _ := e.Run()
+	if want := Time((rounds + 2) * hop); got != want {
 		t.Fatalf("makespan = %d, want %d", got, want)
 	}
 }
@@ -136,16 +138,14 @@ func TestParallelIdleAccounting(t *testing.T) {
 	}
 }
 
-func TestParallelDeadlockPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected deadlock panic")
-		}
-	}()
+func TestParallelDeadlockTypedError(t *testing.T) {
 	e := NewParallel(10)
 	e.Spawn(func(p *Proc) { p.WaitMessage() })
 	e.Spawn(func(p *Proc) { p.WaitMessage() })
-	e.Run()
+	_, err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
 }
 
 func TestParallelLookaheadViolationPanics(t *testing.T) {

@@ -89,6 +89,9 @@ const (
 	MemOv
 	// Idle is time spent with no local work, waiting for messages.
 	Idle
+	// Stall is time lost to injected transient node stalls (fault
+	// injection; see FaultParams.StallRate).
+	Stall
 	// NumCategories is the number of charge categories.
 	NumCategories
 )
@@ -114,6 +117,8 @@ func (c Category) String() string {
 		return "mem"
 	case Idle:
 		return "idle"
+	case Stall:
+		return "stall"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }
@@ -147,12 +152,37 @@ type Engine interface {
 	// time 0.
 	Spawn(fn func(p *Proc)) *Proc
 	// Run executes all processes until every one has returned, and returns
-	// the makespan: the largest final clock across processes. Run panics on
-	// deadlock (all processes blocked with empty mailboxes).
-	Run() Time
+	// the makespan: the largest final clock across processes. On deadlock
+	// (all processes blocked with empty mailboxes) it returns the makespan
+	// so far and a *DeadlockError; the deadlocked process goroutines stay
+	// parked and their final statistics remain readable.
+	Run() (Time, error)
 	// Procs returns the engine's processes (for stats collection after Run).
 	Procs() []*Proc
 }
+
+// ErrDeadlock is the sentinel matched by errors.Is for engine deadlocks.
+var ErrDeadlock = &deadlockSentinel{}
+
+type deadlockSentinel struct{}
+
+func (*deadlockSentinel) Error() string { return "sim: deadlock" }
+
+// DeadlockError reports that every live process was blocked with no pending
+// messages. Under fault injection this is an expected failure mode (e.g. a
+// reply lost with no reliability layer); without faults it indicates a
+// program bug, and callers are expected to escalate it.
+type DeadlockError struct {
+	// Detail is a per-process state snapshot for diagnostics.
+	Detail string
+}
+
+func (e *DeadlockError) Error() string {
+	return "sim: deadlock — all processes blocked with no pending messages " + e.Detail
+}
+
+// Unwrap makes errors.Is(err, ErrDeadlock) true.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
 
 // scheduler is the engine-side surface a Proc needs while running.
 type scheduler interface {
@@ -425,6 +455,55 @@ func (p *Proc) WaitMessage() []Message {
 	}
 }
 
+// WaitMessageUntil is WaitMessage with a virtual-time deadline: it blocks
+// until a message has arrived or the local clock reaches deadline, whichever
+// comes first, charging the wait as Idle. On timeout it returns whatever has
+// arrived (usually nil). The reliability layer uses it to bound waits by the
+// next retransmission deadline.
+//
+// The result is the same reusable drain buffer as Poll/WaitMessage.
+func (p *Proc) WaitMessageUntil(deadline Time) []Message {
+	for {
+		at, ok := p.peekMail()
+		if ok && at <= p.clock {
+			if p.clock >= p.horizon {
+				p.yield(stateReady, p.clock)
+			}
+			return p.drain()
+		}
+		if p.clock >= deadline {
+			// Timed out (or called past the deadline) with nothing
+			// deliverable; drain folds in anything that arrived during a
+			// final yield.
+			if p.clock >= p.horizon {
+				p.yield(stateReady, p.clock)
+			}
+			return p.drain()
+		}
+		target := deadline
+		if ok && at < target {
+			target = at
+		}
+		// Local idle-advance mirrors WaitMessage: allowed strictly inside
+		// the horizon, and at an == horizon arrival under the sequential
+		// engine (the message is already in the mailbox, so advancing
+		// cannot reorder anything). A timeout target equal to the horizon
+		// must yield instead — another process may still run at that time.
+		if target < p.horizon || (!p.strict && ok && at == p.horizon && at <= target) {
+			p.charges[Idle] += target - p.clock
+			if p.onCharge != nil {
+				p.onCharge(Idle, p.clock, target)
+			}
+			p.clock = target
+			if target == at {
+				return p.drain()
+			}
+			continue // reached the deadline; loop exits via the timeout path
+		}
+		p.yield(stateBlocked, target)
+	}
+}
+
 // drain removes and returns all messages with arrival <= clock, reusing the
 // process's drain buffer. The empty-mailbox fast path returns nil under a
 // single lock acquisition (none at all under the sequential engine), so
@@ -537,19 +616,20 @@ func (e *SeqEngine) Spawn(fn func(p *Proc)) *Proc {
 }
 
 // Run executes all processes until every one has returned. It returns the
-// makespan: the largest final clock across processes. Run panics on deadlock
-// (all processes blocked with empty mailboxes).
-func (e *SeqEngine) Run() Time {
+// makespan: the largest final clock across processes. On deadlock (all
+// processes blocked with empty mailboxes) it returns a *DeadlockError; the
+// blocked process goroutines stay parked.
+func (e *SeqEngine) Run() (Time, error) {
 	if len(e.procs) == 0 {
-		return 0
+		return 0, nil
 	}
 	e.done = make(chan runOutcome, 1)
 	e.heap.init(e.procs)
 	e.dispatch(e.heap.min())
 	if <-e.done == runDeadlock {
-		panic("sim: deadlock — all processes blocked with no pending messages " + describe(e.procs))
+		return makespan(e.procs), &DeadlockError{Detail: describe(e.procs)}
 	}
-	return makespan(e.procs)
+	return makespan(e.procs), nil
 }
 
 // dispatch prepares the heap minimum q and wakes it: idle catch-up, horizon
@@ -570,7 +650,7 @@ func (e *SeqEngine) park(p *Proc) bool {
 	if q.wake == Forever {
 		// Every live process is blocked with no pending messages.
 		e.done <- runDeadlock
-		return false // park forever; Run raises the panic
+		return false // park forever; Run reports the DeadlockError
 	}
 	if q == p {
 		// Still the earliest: keep running with a refreshed horizon

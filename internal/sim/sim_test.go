@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -13,7 +14,7 @@ func TestSingleProcCharges(t *testing.T) {
 		p.Charge(SendOv, 7)
 		final = p.Now()
 	})
-	makespan := e.Run()
+	makespan, _ := e.Run()
 	if final != 107 {
 		t.Fatalf("final clock = %d, want 107", final)
 	}
@@ -182,7 +183,7 @@ func TestPingPong(t *testing.T) {
 			}
 		}
 	})
-	makespan := e.Run()
+	makespan, _ := e.Run()
 	// Payload k arrives at (k+1)*hop. proc1 stops after forwarding rounds+1,
 	// which proc0 receives at (rounds+2)*hop.
 	want := Time((rounds + 2) * hop)
@@ -230,16 +231,23 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-func TestDeadlockPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected deadlock panic")
+func TestDeadlockReturnsTypedError(t *testing.T) {
+	for _, kind := range []EngineKind{Sequential, Parallel} {
+		e := NewEngineOf(kind, 10)
+		e.Spawn(func(p *Proc) { p.WaitMessage() })
+		e.Spawn(func(p *Proc) { p.WaitMessage() })
+		_, err := e.Run()
+		if err == nil {
+			t.Fatalf("%v: expected deadlock error", kind)
 		}
-	}()
-	e := NewEngine()
-	e.Spawn(func(p *Proc) { p.WaitMessage() })
-	e.Spawn(func(p *Proc) { p.WaitMessage() })
-	e.Run()
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("%v: error %v is not ErrDeadlock", kind, err)
+		}
+		var de *DeadlockError
+		if !errors.As(err, &de) {
+			t.Fatalf("%v: error %v is not *DeadlockError", kind, err)
+		}
+	}
 }
 
 func TestCausality(t *testing.T) {
@@ -309,7 +317,7 @@ func TestManyProcsBarrierish(t *testing.T) {
 			p.WaitMessage()
 		})
 	}
-	makespan := e.Run()
+	makespan, _ := e.Run()
 	if makespan <= 0 {
 		t.Fatal("no progress")
 	}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -23,11 +24,12 @@ type Breakdown struct {
 	CacheMisses int64
 }
 
-// Busy returns all non-idle cycles.
+// Busy returns all non-idle cycles (injected stalls count as idle: the node
+// does no work while stalled).
 func (b *Breakdown) Busy() sim.Time {
 	var t sim.Time
 	for c, v := range b.Cycles {
-		if sim.Category(c) != sim.Idle {
+		if sim.Category(c) != sim.Idle && sim.Category(c) != sim.Stall {
 			t += v
 		}
 	}
@@ -89,6 +91,10 @@ type RTStats struct {
 	// PeakArrivedBytes is the peak bytes of renamed (arrived) object copies
 	// held at once — the memory cost of a strip.
 	PeakArrivedBytes int64
+	// Abandoned counts suspended threads given up because their object's
+	// owner became unreachable (graceful degradation under fault
+	// injection).
+	Abandoned int64
 }
 
 // merge combines counters from another node or phase.
@@ -99,6 +105,7 @@ func (r *RTStats) merge(o RTStats) {
 	r.Reuses += o.Reuses
 	r.Fetches += o.Fetches
 	r.ReqMsgs += o.ReqMsgs
+	r.Abandoned += o.Abandoned
 	if o.PeakOutstanding > r.PeakOutstanding {
 		r.PeakOutstanding = o.PeakOutstanding
 	}
@@ -107,11 +114,52 @@ func (r *RTStats) merge(o RTStats) {
 	}
 }
 
+// FaultStats aggregates fault-injection and reliability-protocol counters
+// across nodes: what the fault plan did to the run (injected) and what the
+// recovery protocol did about it.
+type FaultStats struct {
+	// Injected by the fault plan (machine layer).
+	Dropped    int64 // messages lost in the network
+	Duplicated int64 // messages delivered twice
+	Jittered   int64 // messages delayed beyond nominal transit
+	Stalls     int64 // transient node stalls
+
+	// Reliability protocol (fm layer).
+	Retransmits    int64 // frames resent after a timeout
+	Exhausted      int64 // frames abandoned after the retry cap
+	AcksSent       int64 // acks transmitted
+	DupsSuppressed int64 // received frames discarded as duplicates
+	UnknownHandler int64 // messages naming an unregistered handler
+}
+
+// Any reports whether any counter is non-zero.
+func (f *FaultStats) Any() bool { return *f != FaultStats{} }
+
+// Add accumulates o into f.
+func (f *FaultStats) Add(o FaultStats) {
+	f.Dropped += o.Dropped
+	f.Duplicated += o.Duplicated
+	f.Jittered += o.Jittered
+	f.Stalls += o.Stalls
+	f.Retransmits += o.Retransmits
+	f.Exhausted += o.Exhausted
+	f.AcksSent += o.AcksSent
+	f.DupsSuppressed += o.DupsSuppressed
+	f.UnknownHandler += o.UnknownHandler
+}
+
 // Run is the result of one simulated phase (or the merge of several).
 type Run struct {
 	Makespan sim.Time
 	Nodes    []Breakdown
 	RT       RTStats
+	// Faults aggregates fault-injection and reliability counters; the zero
+	// value means a fault-free run.
+	Faults FaultStats
+	// Err is non-nil when the phase degraded instead of completing cleanly
+	// (unreachable destinations, unknown handlers, engine deadlock under
+	// faults). Deterministic for a given seed, like every other field.
+	Err error
 	// Timeline is the activity trace when the machine config enabled it
 	// (Config.TraceBins > 0). When phases are merged, the latest phase's
 	// timeline is kept.
@@ -131,6 +179,12 @@ func Collect(m *machine.Machine, makespan sim.Time) Run {
 			CacheHits:   n.CacheHits,
 			CacheMisses: n.CacheMisses,
 		}
+		r.Faults.Add(FaultStats{
+			Dropped:    n.FaultDrops,
+			Duplicated: n.FaultDups,
+			Jittered:   n.FaultJitter,
+			Stalls:     n.FaultStalls,
+		})
 	}
 	return r
 }
@@ -149,6 +203,8 @@ func (r *Run) Merge(o Run) {
 		r.Nodes[i].add(o.Nodes[i])
 	}
 	r.RT.merge(o.RT)
+	r.Faults.Add(o.Faults)
+	r.Err = joinErrs(r.Err, o.Err)
 	if o.Timeline != nil {
 		r.Timeline = o.Timeline
 	}
@@ -156,6 +212,24 @@ func (r *Run) Merge(o Run) {
 
 // MergeRT folds one node's runtime counters into the run.
 func (r *Run) MergeRT(o RTStats) { r.RT.merge(o) }
+
+// MergeFaults folds protocol-level fault counters into the run.
+func (r *Run) MergeFaults(o FaultStats) { r.Faults.Add(o) }
+
+// AddErr records a degradation error on the run (nil is a no-op).
+func (r *Run) AddErr(err error) { r.Err = joinErrs(r.Err, err) }
+
+// joinErrs is errors.Join with nil short-circuits, keeping Err nil (not a
+// non-nil empty join) for clean runs.
+func joinErrs(a, b error) error {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return errors.Join(a, b)
+}
 
 // Total returns the cluster-wide breakdown (sum over nodes).
 func (r *Run) Total() Breakdown {
@@ -167,14 +241,15 @@ func (r *Run) Total() Breakdown {
 }
 
 // AvgPerNode returns the average per-node cycles in each of the three
-// paper-figure categories: local computation, communication overhead, idle.
+// paper-figure categories: local computation, communication overhead, idle
+// (which absorbs injected stall time — the node does no work either way).
 func (r *Run) AvgPerNode() (local, comm, idle sim.Time) {
 	if len(r.Nodes) == 0 {
 		return 0, 0, 0
 	}
 	t := r.Total()
 	n := sim.Time(len(r.Nodes))
-	return t.Local() / n, t.CommOverhead() / n, t.Cycles[sim.Idle] / n
+	return t.Local() / n, t.CommOverhead() / n, (t.Cycles[sim.Idle] + t.Cycles[sim.Stall]) / n
 }
 
 // MsgsSent returns total messages sent across nodes.
@@ -216,7 +291,20 @@ func (r *Run) Diff(o Run) string {
 	if r.RT != o.RT {
 		return fmt.Sprintf("runtime counters %+v != %+v", r.RT, o.RT)
 	}
+	if r.Faults != o.Faults {
+		return fmt.Sprintf("fault counters %+v != %+v", r.Faults, o.Faults)
+	}
+	if es, os := errString(r.Err), errString(o.Err); es != os {
+		return fmt.Sprintf("errors %q != %q", es, os)
+	}
 	return ""
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Table renders the full result as a multi-line table at the given clock
@@ -242,6 +330,15 @@ func (r *Run) Table(clockHz float64) string {
 	}
 	fmt.Fprintf(&b, "peak      %d outstanding threads, %.1f KB renamed copies\n",
 		rt.PeakOutstanding, float64(rt.PeakArrivedBytes)/1024)
+	if f := r.Faults; f.Any() {
+		fmt.Fprintf(&b, "faults    %d dropped, %d duplicated, %d jittered, %d stalls\n",
+			f.Dropped, f.Duplicated, f.Jittered, f.Stalls)
+		fmt.Fprintf(&b, "recovery  %d retransmits, %d acks, %d dups suppressed, %d exhausted, %d abandoned, %d unknown handler\n",
+			f.Retransmits, f.AcksSent, f.DupsSuppressed, f.Exhausted, rt.Abandoned, f.UnknownHandler)
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, "degraded  %v\n", r.Err)
+	}
 	return b.String()
 }
 

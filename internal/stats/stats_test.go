@@ -83,7 +83,7 @@ func TestRTStatsMerge(t *testing.T) {
 
 func TestCollect(t *testing.T) {
 	m := machine.New(machine.DefaultT3D(2))
-	makespan := m.Run(func(n *machine.Node) {
+	makespan, _ := m.Run(func(n *machine.Node) {
 		n.Charge(sim.Compute, sim.Time(100*(n.ID()+1)))
 		if n.ID() == 0 {
 			n.Send(1, 0, nil, 10)
