@@ -1,0 +1,72 @@
+package dpa
+
+// Adaptive-mode determinism regression tests. The strip controller, the
+// owner-major scheduler, and the RTT-derived aggregation limits are pure
+// functions of simulated-time state, so an adaptive run — including its
+// adaptation trace — must be bit-identical across both engines, across
+// repeats, and under seeded faults.
+
+import (
+	"fmt"
+	"testing"
+
+	"dpa/internal/bh"
+	"dpa/internal/em3d"
+	"dpa/internal/nbody"
+)
+
+// adaptiveRuns runs the workload once per engine per repeat and asserts all
+// four run tables (counters, makespan, and adaptation trace) are identical.
+func adaptiveRuns(t *testing.T, name string, faults bool, run func(MachineConfig) RunStats) RunStats {
+	t.Helper()
+	var ref RunStats
+	var refName string
+	for _, kind := range []EngineKind{Sequential, Parallel} {
+		for rep := 0; rep < 2; rep++ {
+			mcfg := DefaultT3D(4)
+			mcfg.Engine = kind
+			if faults {
+				mcfg.Faults = DefaultFaults(7, 0.05)
+			}
+			r := run(mcfg)
+			if r.Err != nil {
+				t.Fatalf("%s %v rep%d: unexpected degradation: %v", name, kind, rep, r.Err)
+			}
+			if refName == "" {
+				ref, refName = r, fmt.Sprintf("%v rep0", kind)
+				continue
+			}
+			if diff := ref.Diff(r); diff != "" {
+				t.Fatalf("%s: %v rep%d diverges from %s: %s", name, kind, rep, refName, diff)
+			}
+		}
+	}
+	return ref
+}
+
+func TestAdaptiveDeterminismEM3D(t *testing.T) {
+	prm := em3d.DefaultParams(160)
+	spec := DPASpec(8, WithAdaptive())
+	for _, faults := range []bool{false, true} {
+		name := "fault-free"
+		if faults {
+			name = "5% loss"
+		}
+		r := adaptiveRuns(t, name, faults, func(mcfg MachineConfig) RunStats {
+			run, _ := em3d.RunIters(mcfg, spec, prm, 2)
+			return run
+		})
+		if faults && (r.Faults.Dropped == 0 || r.Faults.Retransmits == 0) {
+			t.Errorf("fault counters inactive: %+v", r.Faults)
+		}
+	}
+}
+
+func TestAdaptiveDeterminismBarnesHut(t *testing.T) {
+	bodies := nbody.Plummer(256, 42)
+	p := bh.DefaultParams()
+	spec := DPASpec(8, WithAdaptive())
+	adaptiveRuns(t, "fault-free", false, func(mcfg MachineConfig) RunStats {
+		return bh.RunSteps(mcfg, spec, bodies, 1, p)
+	})
+}

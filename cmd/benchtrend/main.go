@@ -1,0 +1,85 @@
+// Command benchtrend prints the host-performance trajectory recorded by the
+// tracked BENCH_*.json baselines (emitted by `dpabench -json`). Each file is
+// one PR-era snapshot; benchtrend lines them up per benchmark and shows how
+// ns/op, B/op, and allocs/op moved from the first snapshot to the last.
+//
+// Usage:
+//
+//	benchtrend [file.json ...]    (default: BENCH_*.json in the working dir)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dpa/internal/stats"
+)
+
+type report struct {
+	App        string            `json:"app"`
+	Nodes      int               `json:"nodes"`
+	Bodies     int               `json:"bodies"`
+	Runtime    string            `json:"runtime"`
+	GoVersion  string            `json:"go_version"`
+	Benchmarks []stats.HostBench `json:"benchmarks"`
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "benchtrend: no BENCH_*.json files found")
+			os.Exit(1)
+		}
+	}
+	sort.Strings(files)
+
+	var reports []report
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(1)
+		}
+		var r report
+		if err := json.Unmarshal(data, &r); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		reports = append(reports, r)
+	}
+
+	first := reports[0]
+	fmt.Printf("host benchmark trajectory: %s nodes=%d bodies=%d %s (%d snapshots)\n",
+		first.App, first.Nodes, first.Bodies, first.Runtime, len(reports))
+	fmt.Printf("%-20s %-10s %12s %12s %10s %10s\n",
+		"benchmark", "snapshot", "ns/op", "B/op", "allocs/op", "vs first")
+	for _, b0 := range first.Benchmarks {
+		for i, r := range reports {
+			b := find(r.Benchmarks, b0.Name)
+			if b == nil {
+				continue
+			}
+			delta := "-"
+			if i > 0 && b0.NsPerOp > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (b.NsPerOp/b0.NsPerOp-1)*100)
+			}
+			fmt.Printf("%-20s %-10s %12.0f %12d %10d %10s\n",
+				b.Name, filepath.Base(files[i]), b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, delta)
+		}
+	}
+}
+
+func find(bs []stats.HostBench, name string) *stats.HostBench {
+	for i := range bs {
+		if bs[i].Name == name {
+			return &bs[i]
+		}
+	}
+	return nil
+}

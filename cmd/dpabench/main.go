@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"dpa/internal/bh"
@@ -47,7 +49,9 @@ func main() {
 	bodies := flag.Int("bodies", 16384, "body count")
 	steps := flag.Int("steps", 1, "Barnes-Hut steps")
 	terms := flag.Int("terms", 29, "FMM expansion terms")
-	strip := flag.Int("strip", 50, "DPA strip size")
+	strip := flag.Int("strip", 50, "DPA strip size (0 = one strip)")
+	adaptive := flag.Bool("adaptive", false, "enable DPA's adaptive scheduling layer (strip control, owner-major scheduling, RTT-derived aggregation)")
+	strips := flag.String("strips", "", "comma-separated strip sizes: run a static sweep plus an adaptive row and print a comparison table")
 	agg := flag.Int("agg", 16, "DPA aggregation limit (1 disables, 0 unlimited)")
 	noPipe := flag.Bool("nopipe", false, "disable DPA message pipelining")
 	seed := flag.Int64("seed", 42, "workload seed")
@@ -67,7 +71,11 @@ func main() {
 	var spec driver.Spec
 	switch *rtName {
 	case "dpa":
-		spec = driver.DPASpec(*strip, driver.WithAggLimit(*agg), driver.WithPipeline(!*noPipe))
+		opts := []driver.SpecOption{driver.WithAggLimit(*agg), driver.WithPipeline(!*noPipe)}
+		if *adaptive {
+			opts = append(opts, driver.WithAdaptive())
+		}
+		spec = driver.DPASpec(*strip, opts...)
 	case "caching":
 		spec = driver.CachingSpec()
 	case "blocking":
@@ -108,32 +116,37 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	var runOnce func(machine.Config) stats.Run
+	var runWith func(machine.Config, driver.Spec) stats.Run
 	switch *app {
 	case "bh":
 		w := nbody.Plummer(*bodies, *seed)
-		runOnce = func(cfg machine.Config) stats.Run {
-			return bh.RunSteps(cfg, spec, w, *steps, bh.DefaultParams())
+		runWith = func(cfg machine.Config, sp driver.Spec) stats.Run {
+			return bh.RunSteps(cfg, sp, w, *steps, bh.DefaultParams())
 		}
 	case "fmm":
 		w := nbody.Uniform2D(*bodies, *seed)
 		prm := fmm.DefaultParams(*bodies)
 		prm.Terms = *terms
-		runOnce = func(cfg machine.Config) stats.Run {
-			run, _ := fmm.RunStep(cfg, spec, w, prm)
+		runWith = func(cfg machine.Config, sp driver.Spec) stats.Run {
+			run, _ := fmm.RunStep(cfg, sp, w, prm)
 			return run
 		}
 	case "em3d":
 		prm := em3d.DefaultParams(*bodies)
-		runOnce = func(cfg machine.Config) stats.Run {
-			run, _ := em3d.RunIters(cfg, spec, prm, *iters)
+		runWith = func(cfg machine.Config, sp driver.Spec) stats.Run {
+			run, _ := em3d.RunIters(cfg, sp, prm, *iters)
 			return run
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "dpabench: unknown app %q\n", *app)
 		os.Exit(1)
 	}
+	runOnce := func(cfg machine.Config) stats.Run { return runWith(cfg, spec) }
 
+	if *strips != "" {
+		stripSweep(mcfg, runWith, *strips, *agg, !*noPipe, *app, *nodes)
+		return
+	}
 	if *jsonOut {
 		emitHostBench(mcfg, runOnce, *app, *nodes, *bodies, *steps, spec)
 		return
@@ -147,6 +160,46 @@ func main() {
 		for i, row := range run.Timeline.Gantt(100) {
 			fmt.Printf("%3d |%s|\n", i, row)
 		}
+	}
+}
+
+// stripSweep runs the app once per static strip size plus once adaptively
+// and prints one comparison row each — the quick command-line version of the
+// harness's X6 experiment.
+func stripSweep(mcfg machine.Config, runWith func(machine.Config, driver.Spec) stats.Run,
+	strips string, agg int, pipeline bool, app string, nodes int) {
+
+	fmt.Printf("app=%s nodes=%d engine=%s strip sweep\n", app, nodes, mcfg.Engine)
+	fmt.Printf("%-12s %10s %10s %10s %10s %8s\n",
+		"runtime", "time", "fetches", "refetches", "reqmsgs", "peakKB")
+	row := func(sp driver.Spec) stats.Run {
+		r := runWith(mcfg, sp)
+		fmt.Printf("%-12s %9.4fs %10d %10d %10d %8.1f\n",
+			sp, mcfg.Seconds(r.Makespan), r.RT.Fetches, r.RT.Refetches,
+			r.RT.ReqMsgs, float64(r.RT.PeakArrivedBytes)/1024)
+		return r
+	}
+	opts := []driver.SpecOption{driver.WithAggLimit(agg), driver.WithPipeline(pipeline)}
+	best := sim.Time(0)
+	for _, f := range strings.Split(strips, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || s < 0 {
+			fmt.Fprintf(os.Stderr, "dpabench: bad strip size %q\n", f)
+			os.Exit(1)
+		}
+		r := row(driver.DPASpec(s, opts...))
+		if best == 0 || r.Makespan < best {
+			best = r.Makespan
+		}
+	}
+	ar := row(driver.DPASpec(50, append(opts, driver.WithAdaptive())...))
+	if len(ar.Adapt) > 0 {
+		fmt.Printf("adaptive  final strip %d (%d grows, %d shrinks)\n",
+			ar.RT.FinalStrip, ar.RT.StripGrows, ar.RT.StripShrinks)
+	}
+	if best > 0 {
+		fmt.Printf("adaptive vs best static: %+.2f%%\n",
+			(float64(ar.Makespan)/float64(best)-1)*100)
 	}
 }
 

@@ -133,6 +133,18 @@ func WithPollEvery(n int) SpecOption { return driver.WithPollEvery(n) }
 // WithCacheCapacity bounds the software cache to n objects (0 = unbounded).
 func WithCacheCapacity(n int) SpecOption { return driver.WithCacheCapacity(n) }
 
+// WithAdaptive enables DPA's adaptive scheduling layer: online strip-size
+// control, owner-major ready-queue scheduling, and RTT-derived per-destination
+// aggregation limits. The strip passed to DPASpec becomes the initial strip.
+func WithAdaptive() SpecOption { return driver.WithAdaptive() }
+
+// WithStripBounds sets the adaptive strip controller's bounds: strip sizes
+// stay in [min, max] and a strip whose renamed copies exceed memBudget bytes
+// triggers a shrink. Zero values keep the defaults.
+func WithStripBounds(min, max int, memBudget int64) SpecOption {
+	return driver.WithStripBounds(min, max, memBudget)
+}
+
 // DPASpec selects the DPA runtime with the given strip size and the default
 // communication optimizations (aggregation + pipelining) enabled, then
 // applies opts. The paper's headline configuration is DPASpec(50).

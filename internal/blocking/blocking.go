@@ -92,6 +92,8 @@ type RT struct {
 	replyPtr gptr.Ptr
 	replyOK  bool
 
+	seen map[gptr.Ptr]struct{} // pointers fetched earlier in the phase
+
 	err error // first degradation error (unreachable owners), if any
 
 	st stats.RTStats
@@ -99,7 +101,8 @@ type RT struct {
 
 // New creates the blocking runtime for one node.
 func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
-	rt := &RT{EP: ep, Space: space, Cfg: cfg, proto: proto}
+	rt := &RT{EP: ep, Space: space, Cfg: cfg, proto: proto,
+		seen: make(map[gptr.Ptr]struct{})}
 	ep.Ctx = rt
 	return rt
 }
@@ -143,10 +146,20 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 // the owner is declared unreachable mid-wait.
 func (rt *RT) fetch(p gptr.Ptr) (gptr.Object, bool) {
 	rt.st.Fetches++
+	if _, dup := rt.seen[p]; dup {
+		// The blocking runtime holds nothing between accesses, so every
+		// repeated access is a refetch.
+		rt.st.Refetches++
+	} else {
+		rt.seen[p] = struct{}{}
+	}
 	rt.st.ReqMsgs++
 	dst := int(p.Node)
 	rt.EP.Send(dst, rt.proto.hReq, fetchReq{ptr: p},
 		msgHeaderBytes+gptr.PtrBytes)
+	n := rt.EP.Node
+	n.SetIdleCategory(sim.FetchStall) // the round-trip wait blocks on a fetch
+	defer n.SetIdleCategory(sim.Idle)
 	// Nested fetches cannot occur: Spawn runs synchronously and handlers
 	// never call Spawn, so at most one reply is outstanding per node —
 	// except for the late reply of an abandoned fetch, which the pointer

@@ -86,9 +86,13 @@ func TestBlockingAccumulatesIdle(t *testing.T) {
 		}
 		ep.Barrier()
 	})
-	idle := m.Nodes()[0].Charges()[sim.Idle]
+	c := m.Nodes()[0].Charges()
+	idle := c[sim.Idle] + c[sim.FetchStall]
 	if idle == 0 {
 		t.Fatal("blocking runtime reported zero idle time over 20 round trips")
+	}
+	if c[sim.FetchStall] == 0 {
+		t.Fatal("round-trip waits were not attributed to fetch stall")
 	}
 }
 

@@ -148,6 +148,7 @@ type RT struct {
 	evictQueue []gptr.Ptr
 	waitersFor map[gptr.Ptr][]Thread
 	waiting    int
+	seen       map[gptr.Ptr]struct{} // pointers fetched earlier in the phase
 
 	ready     []readyEntry
 	readyHead int
@@ -177,6 +178,7 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 		cache:         make(map[gptr.Ptr]gptr.Object),
 		waitersFor:    make(map[gptr.Ptr][]Thread),
 		pendingByDest: make([]int, ep.Node.N()),
+		seen:          make(map[gptr.Ptr]struct{}),
 	}
 	ep.Ctx = rt
 	return rt
@@ -225,6 +227,13 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	rt.waitersFor[p] = []Thread{fn}
 	rt.waiting++
 	rt.st.Fetches++
+	if _, dup := rt.seen[p]; dup {
+		// A capacity miss: the object was fetched, evicted, and is wanted
+		// again (comparable to DPA's strip-boundary refetches).
+		rt.st.Refetches++
+	} else {
+		rt.seen[p] = struct{}{}
+	}
 	rt.st.ReqMsgs++
 	rt.EP.Send(int(p.Node), rt.proto.hReq, fetchReq{ptr: p},
 		msgHeaderBytes+gptr.PtrBytes)
@@ -237,6 +246,9 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 // while waiting. Threads waiting on owners declared unreachable are
 // abandoned (counted, surfaced through Err) instead of waiting forever.
 func (rt *RT) Drain() {
+	nd := rt.EP.Node
+	nd.SetIdleCategory(sim.FetchStall) // waits in here block on fetches
+	defer nd.SetIdleCategory(sim.Idle)
 	pollEvery := rt.Cfg.pollEvery()
 	for {
 		rt.EP.Poll()

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// This file is the feedback half of adaptive mode: a bounded
+// multiplicative-increase/decrease controller that retunes the strip size
+// after every strip, and per-destination aggregation limits derived from
+// observed round-trip latency. Every decision is a pure function of
+// simulated-time counters (cycle charges, fetch/refetch counts, arrival
+// times), never of host state, so adaptive runs are bit-identical across
+// both engines and across repeats — including under fault injection, whose
+// schedule is itself a pure function of the seed. The controller's own
+// arithmetic is a handful of integer operations per strip and is treated as
+// subsumed by the scheduler costs already charged (see DESIGN.md §8).
+
+// Controller bounds and thresholds. The signals are ratios, so the same
+// constants work across workloads; the bounds keep a misbehaving signal from
+// running away.
+const (
+	defaultStripMin  = 8
+	defaultStripMax  = 4096
+	defaultMemBudget = 4 << 20 // renamed-copy bytes per strip
+
+	// growNum/growDen is the strong-signal growth factor; a weak signal
+	// grows by half as much. Shrinking (memory pressure) always halves.
+	growNum = 2
+	growDen = 1
+
+	// maxTracePoints bounds the per-node adaptation trace.
+	maxTracePoints = 64
+
+	// ewmaOld/ewmaDiv: EWMA weight new sample 1/4 (integer arithmetic).
+	ewmaOld = 3
+	ewmaDiv = 4
+
+	// maxGapSample discards enqueue-gap samples that span a drain wait
+	// (they measure stalls, not the request production rate).
+	maxGapSample = 1 << 16
+)
+
+// stripCtl is the per-node controller state.
+type stripCtl struct {
+	strip     int // strip size for the next strip
+	min, max  int
+	memBudget int64
+	loop      int32 // index of the current top-level loop on this node
+
+	// Snapshot at the start of the current strip.
+	baseFetches   int64
+	baseRefetches int64
+	baseReqMsgs   int64
+	baseArrived   int64
+	baseStall     sim.Time
+	baseNow       sim.Time
+	stripPeak     int64 // peak renamed-copy bytes during the strip
+}
+
+// initCtl resolves the controller bounds from the config.
+func (rt *RT) initCtl() {
+	c := &rt.ctl
+	c.strip = rt.Cfg.Strip
+	c.min, c.max = rt.Cfg.StripMin, rt.Cfg.StripMax
+	if c.min <= 0 {
+		c.min = defaultStripMin
+	}
+	if c.max <= 0 {
+		c.max = defaultStripMax
+	}
+	c.memBudget = rt.Cfg.MemBudget
+	if c.memBudget <= 0 {
+		c.memBudget = defaultMemBudget
+	}
+}
+
+// beginStrip snapshots the counters the end-of-strip decision diffs against.
+func (rt *RT) beginStrip() {
+	c := &rt.ctl
+	c.baseFetches = rt.st.Fetches
+	c.baseRefetches = rt.st.Refetches
+	c.baseReqMsgs = rt.st.ReqMsgs
+	c.baseArrived = rt.arrivedBytes
+	c.baseStall = rt.EP.Node.Charges()[sim.FetchStall]
+	c.baseNow = rt.EP.Node.Now()
+	c.stripPeak = rt.arrivedBytes
+	rt.lastEnq = -1 // enqueue-gap samples do not span strips
+}
+
+// adaptStrip picks the next strip size from this strip's observations:
+//
+//   - renamed-copy memory above budget shrinks (the paper's reason to
+//     strip-mine at all);
+//   - a high refetch ratio means the strip boundary is cutting reuse apart
+//     — copies dropped at the boundary are fetched again — so grow;
+//   - a high fetch-stall fraction means the strip admits too little work to
+//     cover its own communication, so grow;
+//   - under-filled request batches (objects/message well below the
+//     aggregation limit) mean the strip boundary truncates aggregation, so
+//     grow;
+//   - weak versions of the same signals grow by half the factor, and a
+//     quiet strip (little refetch or stall, full batches) holds.
+func (rt *RT) adaptStrip() {
+	c := &rt.ctl
+	fetches := rt.st.Fetches - c.baseFetches
+	refetches := rt.st.Refetches - c.baseRefetches
+	msgs := rt.st.ReqMsgs - c.baseReqMsgs
+	stall := rt.EP.Node.Charges()[sim.FetchStall] - c.baseStall
+	elapsed := rt.EP.Node.Now() - c.baseNow
+	aggBase := int64(rt.Cfg.AggLimit) // 0 = unlimited: under-fill unmeasurable
+
+	cur := c.strip
+	next := cur
+	switch {
+	case c.stripPeak-c.baseArrived > c.memBudget:
+		// One strip's own copies overflow the budget: only a smaller strip
+		// can bound memory.
+		next = cur / 2
+	case fetches == 0:
+		// A purely local strip carries no communication signal.
+	case refetches*4 >= fetches ||
+		(elapsed > 0 && stall*2 >= elapsed) ||
+		(aggBase > 0 && fetches*4 <= msgs*aggBase):
+		next = cur * 2 * growNum / growDen
+	case refetches*16 >= fetches ||
+		(elapsed > 0 && stall*4 >= elapsed) ||
+		(aggBase > 0 && fetches < msgs*aggBase):
+		next = cur * growNum / growDen
+	}
+	if next < c.min {
+		next = c.min
+	}
+	if next > c.max {
+		next = c.max
+	}
+	if next == cur {
+		return
+	}
+	if next > cur {
+		rt.st.StripGrows++
+	} else {
+		rt.st.StripShrinks++
+	}
+	if len(rt.trace) < maxTracePoints {
+		rt.trace = append(rt.trace, stats.AdaptPoint{Loop: c.loop, Strip: int32(next)})
+	}
+	c.strip = next
+}
+
+// forAllAdaptive is the adaptive strip-mined loop: same admit/flush/drain
+// structure as the static ForAll, with the controller choosing each strip
+// size and a tail-merge absorbing a runt final strip into its predecessor
+// (a sub-quarter strip would pay a full drain for almost no work).
+func (rt *RT) forAllAdaptive(n int, spawnIter func(i int)) {
+	c := &rt.ctl
+	if c.strip <= 0 {
+		c.strip = n // Strip 0: start with the whole loop as one strip
+	}
+	for lo := 0; lo < n; {
+		s := c.strip
+		hi := lo + s
+		if rem := n - hi; rem > 0 && rem < s/4 {
+			hi = n
+		}
+		if hi > n {
+			hi = n
+		}
+		rt.beginStrip()
+		for i := lo; i < hi; i++ {
+			spawnIter(i)
+		}
+		if rt.Cfg.Pipeline {
+			rt.FlushAll()
+		}
+		rt.Drain()
+		rt.endStripAdaptive()
+		rt.adaptStrip()
+		lo = hi
+	}
+	rt.st.FinalStrip = int64(c.strip)
+	c.loop++
+}
+
+// AdaptTrace returns this node's strip-adaptation trace (nil in static
+// mode). The driver records node 0's trace on the run.
+func (rt *RT) AdaptTrace() []stats.AdaptPoint { return rt.trace }
+
+// destLimit is the per-destination aggregation limit. In adaptive mode it is
+// derived from the observed round-trip latency to dst and the local request
+// production rate: a buffer should fill in about one RTT, so that request
+// batches stream continuously instead of either trickling out (per-message
+// overhead) or bunching into one late burst (exposed latency). The result is
+// bounded to [AggLimit/2, 8*AggLimit] so a cold or noisy estimate cannot
+// stray far from the configured limit.
+func (rt *RT) destLimit(dst int) int {
+	base := rt.Cfg.aggLimit()
+	if !rt.adaptive || rt.Cfg.AggLimit <= 0 {
+		return base // static mode, or unlimited stays unlimited
+	}
+	rtt, gap := rt.rttEwma[dst], rt.gapEwma
+	if rtt == 0 || gap == 0 {
+		return base
+	}
+	k := int(rtt / gap)
+	if lo := base / 2; k < lo {
+		k = lo
+	}
+	if hi := base * 8; k > hi {
+		k = hi
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// observeGap feeds the enqueue-interval EWMA (request production rate).
+func (rt *RT) observeGap(now sim.Time) {
+	if rt.lastEnq >= 0 {
+		if gap := now - rt.lastEnq; gap > 0 && gap < maxGapSample {
+			if rt.gapEwma == 0 {
+				rt.gapEwma = gap
+			} else {
+				rt.gapEwma = (ewmaOld*rt.gapEwma + gap) / ewmaDiv
+			}
+		}
+	}
+	rt.lastEnq = now
+}
+
+// observeRTT feeds the per-destination round-trip EWMA. A sample is armed on
+// the first in-flight request to dst (flushDest) and closed by its first
+// reply, so queueing behind earlier requests never inflates it.
+func (rt *RT) observeRTT(dst int, now sim.Time) {
+	if !rt.rttMark[dst] {
+		return
+	}
+	rt.rttMark[dst] = false
+	s := now - rt.rttSentAt[dst]
+	if rt.rttEwma[dst] == 0 {
+		rt.rttEwma[dst] = s
+	} else {
+		rt.rttEwma[dst] = (ewmaOld*rt.rttEwma[dst] + s) / ewmaDiv
+	}
+}

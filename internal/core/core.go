@@ -41,10 +41,29 @@ type Thread func(obj gptr.Object)
 
 // Config selects the DPA scheduling and communication policy.
 type Config struct {
-	// Strip is the static strip size for top-level concurrent loops
-	// (the paper's headline configuration is 50). <= 0 means no
-	// strip-mining (the whole loop is one strip).
+	// Strip is the strip size for top-level concurrent loops (the paper's
+	// headline configuration is 50). 0 means "one strip": the whole loop
+	// is admitted at once, with no strip-mining. Negative values are
+	// invalid (rejected by Validate). In adaptive mode Strip is only the
+	// starting point; the controller retunes it per strip.
 	Strip int
+	// Adaptive enables the feedback-driven scheduling layer: an online
+	// strip-size controller (multiplicative increase/decrease on the
+	// refetch ratio, fetch-stall fraction, and renamed-copy memory),
+	// owner-major ready scheduling, owner-sorted aggregation flushes with
+	// RTT-derived per-destination limits, and batched reply scatter. All
+	// decisions are pure functions of simulated-time counters, so adaptive
+	// runs stay bit-identical across engines and repeats; with Adaptive
+	// false none of these paths run and behaviour is unchanged.
+	Adaptive bool
+	// StripMin/StripMax bound the adaptive controller (<= 0: defaults 8
+	// and 4096). Ignored in static mode.
+	StripMin int
+	StripMax int
+	// MemBudget is the renamed-copy byte budget per strip above which the
+	// adaptive controller shrinks the strip (<= 0: default 4 MB). Ignored
+	// in static mode.
+	MemBudget int64
 	// AggLimit is the maximum number of pointers per request message.
 	// 1 disables aggregation; 0 means unlimited; negative is invalid
 	// (rejected by Validate).
@@ -91,6 +110,22 @@ func Default() Config {
 // Validate rejects configurations with no defined meaning. It is called by
 // the driver before a runtime is instantiated.
 func (c *Config) Validate() error {
+	if c.Strip < 0 {
+		return fmt.Errorf("core: Strip must be >= 0 (0 = one strip), got %d", c.Strip)
+	}
+	if c.StripMin < 0 || c.StripMax < 0 {
+		return fmt.Errorf("core: strip bounds must be >= 0 (0 = default), got min=%d max=%d",
+			c.StripMin, c.StripMax)
+	}
+	if c.StripMin > 0 && c.StripMax > 0 && c.StripMin > c.StripMax {
+		return fmt.Errorf("core: StripMin %d exceeds StripMax %d", c.StripMin, c.StripMax)
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("core: MemBudget must be >= 0 (0 = default), got %d", c.MemBudget)
+	}
+	if c.Adaptive && c.LIFO {
+		return fmt.Errorf("core: Adaptive and LIFO are mutually exclusive (owner-major scheduling replaces the queue discipline)")
+	}
 	if c.AggLimit < 0 {
 		return fmt.Errorf("core: AggLimit must be >= 0 (0 = unlimited), got %d", c.AggLimit)
 	}
@@ -177,6 +212,15 @@ func onFetchReply(ep *fm.EP, m sim.Message) {
 		rt.pendingByDest[m.From]--
 		rt.pendingReplies--
 	}
+	if rt.adaptive {
+		rt.observeRTT(m.From, ep.Node.Now())
+		rt.scatterReply(m.From, rep)
+		rt.trackPeak()
+		rt.pool.putPtrs(rep.ptrs)
+		rt.pool.putObjs(rep.objs)
+		rt.pool.putReply(rep)
+		return
+	}
 	for i, p := range rep.ptrs {
 		o := rep.objs[i]
 		e := rt.table[p]
@@ -204,6 +248,49 @@ func onFetchReply(ep *fm.EP, m sim.Message) {
 	rt.pool.putPtrs(rep.ptrs)
 	rt.pool.putObjs(rep.objs)
 	rt.pool.putReply(rep)
+}
+
+// scatterReply is the adaptive reply path: one wake pass appends every
+// dependent thread of the batch — all waiters of all pointers the reply
+// carries — to the owner's run list, enqueueing the owner once, instead of
+// per-pointer wakeups into a global queue.
+func (rt *RT) scatterReply(owner int, rep *fetchReply) {
+	l := &rt.oq.lists[owner]
+	woken := 0
+	for i, p := range rep.ptrs {
+		e := rt.table[p]
+		if e == nil || e.arrived {
+			// Only possible under degradation: the entry was abandoned
+			// before this late reply landed.
+			continue
+		}
+		o := rep.objs[i]
+		e.obj = o
+		e.arrived = true
+		rt.arrivedBytes += int64(o.ByteSize())
+		if rt.arrivedBytes > rt.st.PeakArrivedBytes {
+			rt.st.PeakArrivedBytes = rt.arrivedBytes
+		}
+		if rt.arrivedBytes > rt.ctl.stripPeak {
+			rt.ctl.stripPeak = rt.arrivedBytes
+		}
+		key := p.Key()
+		for j, fn := range e.waiters {
+			l.items = append(l.items, readyEntry{key: key, obj: o, fn: fn})
+			e.waiters[j] = nil
+		}
+		woken += len(e.waiters)
+		e.waiters = e.waiters[:0]
+	}
+	if woken == 0 {
+		return
+	}
+	rt.waiting -= woken
+	rt.oq.count += woken
+	if !l.queued {
+		l.queued = true
+		rt.oq.order = append(rt.oq.order, owner)
+	}
 }
 
 // dEntry is one fused M/D table entry for a remote pointer: while the fetch
@@ -237,8 +324,20 @@ type RT struct {
 	err error // first degradation error (unreachable owners), if any
 
 	arrivedBytes int64
+	seen         map[gptr.Ptr]struct{} // pointers fetched earlier in the phase
 	st           stats.RTStats
 	pool         pools
+
+	// Adaptive mode (Cfg.Adaptive); see adapt.go and ownerq.go.
+	adaptive  bool
+	oq        ownerQueue // owner-major ready queue (replaces ready)
+	ctl       stripCtl
+	trace     []stats.AdaptPoint
+	rttEwma   []sim.Time // per-destination round-trip EWMA
+	rttSentAt []sim.Time
+	rttMark   []bool
+	gapEwma   sim.Time // enqueue-interval EWMA (request production rate)
+	lastEnq   sim.Time
 }
 
 // New creates the runtime for one node and binds it to the endpoint (the
@@ -252,6 +351,17 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 		table:         make(map[gptr.Ptr]*dEntry),
 		agg:           make([][]gptr.Ptr, ep.Node.N()),
 		pendingByDest: make([]int, ep.Node.N()),
+		seen:          make(map[gptr.Ptr]struct{}),
+		adaptive:      cfg.Adaptive,
+	}
+	if rt.adaptive {
+		n := ep.Node.N()
+		rt.oq.init(n)
+		rt.rttEwma = make([]sim.Time, n)
+		rt.rttSentAt = make([]sim.Time, n)
+		rt.rttMark = make([]bool, n)
+		rt.lastEnq = -1
+		rt.initCtl()
 	}
 	ep.Ctx = rt
 	return rt
@@ -278,7 +388,7 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	rt.st.Spawns++
 	if rt.Space.LocalOrRepl(p, n.ID()) {
 		rt.st.LocalHits++
-		rt.ready.push(readyEntry{key: p.Key(), obj: rt.Space.Get(p), fn: fn})
+		rt.pushReady(n.ID(), readyEntry{key: p.Key(), obj: rt.Space.Get(p), fn: fn})
 		rt.trackPeak()
 		return
 	}
@@ -286,7 +396,7 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	if e, ok := rt.table[p]; ok {
 		rt.st.Reuses++
 		if e.arrived {
-			rt.ready.push(readyEntry{key: p.Key(), obj: e.obj, fn: fn})
+			rt.pushReady(int(p.Node), readyEntry{key: p.Key(), obj: e.obj, fn: fn})
 		} else {
 			e.waiters = append(e.waiters, fn)
 			rt.waiting++
@@ -299,8 +409,34 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	rt.table[p] = e
 	rt.waiting++
 	rt.st.Fetches++
+	if _, dup := rt.seen[p]; dup {
+		// Fetched before and dropped since (a strip boundary): the refetch
+		// traffic the strip size trades against memory.
+		rt.st.Refetches++
+	} else {
+		rt.seen[p] = struct{}{}
+	}
 	rt.enqueueReq(p)
 	rt.trackPeak()
+}
+
+// pushReady makes a thread ready. owner is the node that supplied its
+// object (the local node for local and replicated pointers); adaptive mode
+// groups the ready queue by it.
+func (rt *RT) pushReady(owner int, e readyEntry) {
+	if rt.adaptive {
+		rt.oq.push(owner, e)
+	} else {
+		rt.ready.push(e)
+	}
+}
+
+// readyLen is the ready-thread count under either queue.
+func (rt *RT) readyLen() int {
+	if rt.adaptive {
+		return rt.oq.len()
+	}
+	return rt.ready.len()
 }
 
 // enqueueReq adds p to its owner's aggregation buffer and, under the
@@ -313,19 +449,28 @@ func (rt *RT) enqueueReq(p gptr.Ptr) {
 	}
 	rt.agg[dst] = append(rt.agg[dst], p)
 	rt.aggCount++
-	if rt.Cfg.Pipeline && len(rt.agg[dst]) >= rt.Cfg.aggLimit() {
+	if rt.adaptive {
+		rt.observeGap(rt.EP.Node.Now())
+	}
+	if rt.Cfg.Pipeline && len(rt.agg[dst]) >= rt.destLimit(dst) {
 		rt.flushDest(dst)
 	}
 }
 
 // flushDest sends the pending requests for one destination, in chunks of at
-// most AggLimit pointers per message.
+// most the destination's aggregation limit per message.
 func (rt *RT) flushDest(dst int) {
 	ptrs := rt.agg[dst]
 	if len(ptrs) == 0 {
 		return
 	}
-	limit := rt.Cfg.aggLimit()
+	if rt.adaptive && !rt.rttMark[dst] && rt.pendingByDest[dst] == 0 {
+		// Arm a round-trip sample: nothing is in flight to dst, so the
+		// first reply back answers this send.
+		rt.rttMark[dst] = true
+		rt.rttSentAt[dst] = rt.EP.Node.Now()
+	}
+	limit := rt.destLimit(dst)
 	for lo := 0; lo < len(ptrs); lo += limit {
 		hi := lo + limit
 		if hi > len(ptrs) {
@@ -343,9 +488,20 @@ func (rt *RT) flushDest(dst int) {
 	rt.agg[dst] = rt.agg[dst][:0]
 }
 
-// FlushAll sends every pending request buffer, in destination-arrival order
-// (deterministic).
+// FlushAll sends every pending request buffer: in destination-arrival order
+// normally, in ascending owner order in adaptive mode (owner-sorted batches,
+// matching the owner-major service order of the ready queue). Both orders
+// are deterministic.
 func (rt *RT) FlushAll() {
+	if rt.adaptive {
+		if rt.aggCount > 0 {
+			for dst := range rt.agg {
+				rt.flushDest(dst)
+			}
+		}
+		rt.aggDests = rt.aggDests[:0]
+		return
+	}
 	for _, dst := range rt.aggDests {
 		rt.flushDest(dst)
 	}
@@ -360,15 +516,18 @@ func (rt *RT) FlushAll() {
 // waiting on its objects are abandoned — counted and surfaced through Err —
 // instead of waiting forever.
 func (rt *RT) Drain() {
+	nd := rt.EP.Node
+	nd.SetIdleCategory(sim.FetchStall) // waits in here block on fetches
+	defer nd.SetIdleCategory(sim.Idle)
 	pollEvery := rt.Cfg.pollEvery()
 	for {
 		rt.EP.Poll()
 		ran := 0
-		for rt.ready.len() > 0 && ran < pollEvery {
+		for rt.readyLen() > 0 && ran < pollEvery {
 			rt.runOne()
 			ran++
 		}
-		if rt.ready.len() > 0 {
+		if rt.readyLen() > 0 {
 			continue
 		}
 		if rt.aggCount > 0 {
@@ -425,9 +584,12 @@ func (rt *RT) abandonUnreachable() bool {
 // discipline.
 func (rt *RT) runOne() {
 	var e readyEntry
-	if rt.Cfg.LIFO {
+	switch {
+	case rt.adaptive:
+		e = rt.oq.pop()
+	case rt.Cfg.LIFO:
 		e = rt.ready.popBack()
-	} else {
+	default:
 		e = rt.ready.pop()
 	}
 	n := rt.EP.Node
@@ -442,6 +604,10 @@ func (rt *RT) runOne() {
 // iterations per strip and draining all (transitively spawned) work between
 // strips. Renamed copies are discarded at strip boundaries, bounding memory.
 func (rt *RT) ForAll(n int, spawnIter func(i int)) {
+	if rt.adaptive {
+		rt.forAllAdaptive(n, spawnIter)
+		return
+	}
 	s := rt.Cfg.Strip
 	if s <= 0 {
 		s = n
@@ -464,10 +630,32 @@ func (rt *RT) ForAll(n int, spawnIter func(i int)) {
 
 // endStrip discards the strip's renamed copies, recycling the table entries.
 func (rt *RT) endStrip() {
+	rt.checkStripInvariant()
+	rt.dropCopies()
+}
+
+// endStripAdaptive closes a strip in adaptive mode: renamed copies are
+// retained while they fit the controller's memory budget — the budget, not
+// the strip boundary, is what bounds memory — and dropped wholesale once it
+// is exceeded. Retention converts the static scheme's strip-boundary
+// refetches into reuses; the decision reads only simulated-state counters,
+// so it is deterministic.
+func (rt *RT) endStripAdaptive() {
+	rt.checkStripInvariant()
+	if rt.arrivedBytes <= rt.ctl.memBudget {
+		return
+	}
+	rt.dropCopies()
+}
+
+func (rt *RT) checkStripInvariant() {
 	if rt.waiting != 0 || rt.pendingReplies != 0 || rt.aggCount != 0 {
 		panic(fmt.Sprintf("core: strip ended with waiting=%d pending=%d buffered=%d",
 			rt.waiting, rt.pendingReplies, rt.aggCount))
 	}
+}
+
+func (rt *RT) dropCopies() {
 	for _, e := range rt.table {
 		rt.pool.putEntry(e)
 	}
@@ -478,7 +666,7 @@ func (rt *RT) endStrip() {
 // trackPeak records the peak number of outstanding (suspended + ready)
 // threads, the strip-size/memory metric of the paper's table.
 func (rt *RT) trackPeak() {
-	out := int64(rt.waiting + rt.ready.len())
+	out := int64(rt.waiting + rt.readyLen())
 	if out > rt.st.PeakOutstanding {
 		rt.st.PeakOutstanding = out
 	}

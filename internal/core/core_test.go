@@ -6,6 +6,7 @@ import (
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/machine"
+	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
 
@@ -379,7 +380,8 @@ func TestPipeliningReducesIdle(t *testing.T) {
 			}
 			ep.Barrier()
 		})
-		idle[pipeline] = int64(m.Nodes()[0].Charges()[8]) // sim.Idle
+		c := m.Nodes()[0].Charges()
+		idle[pipeline] = int64(c[sim.Idle] + c[sim.FetchStall])
 	}
 	if idle[true] >= idle[false] {
 		t.Errorf("pipelining did not reduce idle: on=%d off=%d", idle[true], idle[false])

@@ -69,6 +69,20 @@ func WithAggLimit(n int) SpecOption { return func(s *Spec) { s.Core.AggLimit = n
 // WithLIFO selects the depth-first (LIFO) ready-queue discipline for DPA.
 func WithLIFO() SpecOption { return func(s *Spec) { s.Core.LIFO = true } }
 
+// WithAdaptive enables DPA's feedback-driven scheduling layer: an online
+// strip-size controller, owner-major ready scheduling, owner-sorted
+// aggregation flushes with RTT-derived per-destination limits, and batched
+// reply scatter. The configured strip size becomes the starting point.
+func WithAdaptive() SpecOption { return func(s *Spec) { s.Core.Adaptive = true } }
+
+// WithStripBounds sets the adaptive controller's strip-size bounds and
+// per-strip renamed-copy memory budget in bytes (zero keeps each default).
+func WithStripBounds(min, max int, memBudget int64) SpecOption {
+	return func(s *Spec) {
+		s.Core.StripMin, s.Core.StripMax, s.Core.MemBudget = min, max, memBudget
+	}
+}
+
 // WithPipeline enables or disables DPA message pipelining (eager request
 // flushing that overlaps communication with thread execution).
 func WithPipeline(on bool) SpecOption { return func(s *Spec) { s.Core.Pipeline = on } }
@@ -124,6 +138,9 @@ func (s Spec) Validate() error {
 func (s Spec) String() string {
 	switch s.Kind {
 	case DPA:
+		if s.Core.Adaptive {
+			return fmt.Sprintf("DPA-A(%d)", s.Core.Strip)
+		}
 		return fmt.Sprintf("DPA(%d)", s.Core.Strip)
 	case Caching:
 		return "Caching"
@@ -309,6 +326,13 @@ func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 		}
 		run.MergeRT(rt.Stats())
 		run.AddErr(rt.Err())
+	}
+	// Node 0's strip-adaptation trace is the run's representative (every
+	// node adapts independently; recording all of them would swamp tables).
+	if len(rts) > 0 {
+		if tr, ok := rts[0].(interface{ AdaptTrace() []stats.AdaptPoint }); ok {
+			run.Adapt = tr.AdaptTrace()
+		}
 	}
 	for _, ep := range eps {
 		if ep == nil {

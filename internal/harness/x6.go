@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"dpa/internal/driver"
+	"dpa/internal/em3d"
+	"dpa/internal/machine"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// X6: adaptive strip control vs the static sweep. The paper picks one strip
+// size per application by hand; this extension lets the runtime's feedback
+// controller pick it online (strip growth from refetch/stall/batch-under-fill
+// signals, owner-major scheduling, RTT-derived aggregation limits) and asks
+// whether "adaptive starting from the paper's Strip=50" lands within a few
+// percent of the best hand-tuned static strip.
+
+func init() {
+	register(Experiment{ID: "X6", Title: "Adaptive strip control vs static strip sweep (extension)", Run: runX6})
+}
+
+// x6Strips is the static sweep the adaptive run is judged against.
+var x6Strips = []int{10, 25, 50, 100, 300}
+
+func runX6(s *Session) {
+	const nodes = 16
+	s.printf("Static strip-size sweep vs the adaptive controller on %d nodes.\n", nodes)
+	s.printf("The adaptive row starts from the paper's Strip=50 and retunes after\n")
+	s.printf("every strip; 'final' is the strip size it converged to. Delta is the\n")
+	s.printf("adaptive time relative to the best static strip in the sweep.\n\n")
+
+	apps := []struct {
+		name string
+		run  func(spec driver.Spec) stats.Run
+	}{
+		{"BH", func(spec driver.Spec) stats.Run { return s.BH(nodes, spec) }},
+		{"FMM", func(spec driver.Spec) stats.Run { return s.FMM(nodes, spec) }},
+		{"EM3D", func(spec driver.Spec) stats.Run {
+			r, _ := em3d.RunIters(machine.DefaultT3D(nodes), spec, em3d.DefaultParams(s.W.EM3DNodes), 4)
+			return r
+		}},
+	}
+
+	for _, app := range apps {
+		s.printf("%s\n", app.name)
+		s.printf("%-12s %12s %10s %10s %10s\n",
+			"runtime", "time", "fetches", "refetches", "reqmsgs")
+		row := func(spec driver.Spec) stats.Run {
+			r := app.run(spec)
+			s.printf("%-12s %10.2fms %10d %10d %10d\n",
+				spec, s.Sec(r)*1e3, r.RT.Fetches, r.RT.Refetches, r.RT.ReqMsgs)
+			return r
+		}
+		best := sim.Time(0)
+		for _, strip := range x6Strips {
+			r := row(driver.DPASpec(strip))
+			if best == 0 || r.Makespan < best {
+				best = r.Makespan
+			}
+		}
+		ar := row(driver.DPASpec(50, driver.WithAdaptive()))
+		s.printf("adaptive: final strip %d (%d grows, %d shrinks), %+.2f%% vs best static\n\n",
+			ar.RT.FinalStrip, ar.RT.StripGrows, ar.RT.StripShrinks,
+			(float64(ar.Makespan)/float64(best)-1)*100)
+	}
+}

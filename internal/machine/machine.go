@@ -297,6 +297,10 @@ func (n *Node) Now() sim.Time { return n.proc.Now() }
 // Charge advances the node clock, attributing the cycles to cat.
 func (n *Node) Charge(cat sim.Category, d sim.Time) { n.proc.Charge(cat, d) }
 
+// SetIdleCategory selects the category charged while this node waits for
+// messages (sim.Idle by default, sim.FetchStall inside runtime drain loops).
+func (n *Node) SetIdleCategory(cat sim.Category) { n.proc.SetIdleCategory(cat) }
+
 // Charges returns the per-category cycle totals for this node.
 func (n *Node) Charges() [sim.NumCategories]sim.Time { return n.proc.Charges() }
 

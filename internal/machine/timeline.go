@@ -54,7 +54,7 @@ func (t *Timeline) record(node int, cat sim.Category, start, end sim.Time) {
 func ganttClass(c [sim.NumCategories]sim.Time) byte {
 	local := c[sim.Compute] + c[sim.MemOv] + c[sim.SchedOv] + c[sim.HashOv]
 	comm := c[sim.SendOv] + c[sim.RecvOv] + c[sim.PollOv] + c[sim.HandlerOv]
-	idle := c[sim.Idle]
+	idle := c[sim.Idle] + c[sim.FetchStall]
 	switch {
 	case local == 0 && comm == 0 && idle == 0:
 		return ' '

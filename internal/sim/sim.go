@@ -92,6 +92,12 @@ const (
 	// Stall is time lost to injected transient node stalls (fault
 	// injection; see FaultParams.StallRate).
 	Stall
+	// FetchStall is idle time spent blocked on outstanding remote fetches,
+	// as opposed to structural idle (barriers, load imbalance). Runtimes
+	// select it around their drain loops via Proc.SetIdleCategory; all
+	// reporting folds it back into idle, so it refines attribution without
+	// changing any printed total.
+	FetchStall
 	// NumCategories is the number of charge categories.
 	NumCategories
 )
@@ -119,6 +125,8 @@ func (c Category) String() string {
 		return "idle"
 	case Stall:
 		return "stall"
+	case FetchStall:
+		return "fetchstall"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }
@@ -251,6 +259,7 @@ type Proc struct {
 	heapIdx  int       // position in the sequential engine's wake heap
 	drainBuf []Message // reusable Poll/WaitMessage result buffer
 	charges  [NumCategories]Time
+	idleCat  Category // category charged for idle waits (default Idle)
 
 	// onCharge, when set, observes every clock advance as
 	// (category, start, end) — the hook behind activity timelines.
@@ -277,12 +286,13 @@ type Proc struct {
 // the engine's first resume.
 func newProc(s scheduler, id int, fn func(p *Proc), strict bool) *Proc {
 	p := &Proc{
-		id:     id,
-		sched:  s,
-		state:  stateReady,
-		wake:   0,
-		strict: strict,
-		resume: make(chan struct{}, 1),
+		id:      id,
+		sched:   s,
+		state:   stateReady,
+		wake:    0,
+		strict:  strict,
+		idleCat: Idle,
+		resume:  make(chan struct{}, 1),
 	}
 	go func() {
 		<-p.resume
@@ -319,6 +329,14 @@ func (p *Proc) unlockStrict() {
 func (p *Proc) SetChargeHook(fn func(cat Category, start, end Time)) {
 	p.onCharge = fn
 }
+
+// SetIdleCategory selects the category charged for idle waits (WaitMessage,
+// WaitMessageUntil, and blocked-wakeup catch-up): Idle by default, or
+// FetchStall while a runtime is draining outstanding fetches. The category
+// applies to waits the process itself enters, so it is always set and read by
+// the owning process (the engines' catch-up happens while the process is
+// parked, after its last write).
+func (p *Proc) SetIdleCategory(cat Category) { p.idleCat = cat }
 
 // ID returns the process id (0-based).
 func (p *Proc) ID() int { return p.id }
@@ -443,9 +461,9 @@ func (p *Proc) WaitMessage() []Message {
 			// process needs to run before it arrives (sequential), or it is
 			// strictly inside the epoch frontier (parallel), just advance.
 			if at < p.horizon || (!p.strict && at == p.horizon) {
-				p.charges[Idle] += at - p.clock
+				p.charges[p.idleCat] += at - p.clock
 				if p.onCharge != nil {
-					p.onCharge(Idle, p.clock, at)
+					p.onCharge(p.idleCat, p.clock, at)
 				}
 				p.clock = at
 				return p.drain()
@@ -490,9 +508,9 @@ func (p *Proc) WaitMessageUntil(deadline Time) []Message {
 		// cannot reorder anything). A timeout target equal to the horizon
 		// must yield instead — another process may still run at that time.
 		if target < p.horizon || (!p.strict && ok && at == p.horizon && at <= target) {
-			p.charges[Idle] += target - p.clock
+			p.charges[p.idleCat] += target - p.clock
 			if p.onCharge != nil {
-				p.onCharge(Idle, p.clock, target)
+				p.onCharge(p.idleCat, p.clock, target)
 			}
 			p.clock = target
 			if target == at {
@@ -569,9 +587,9 @@ func (p *Proc) effectiveWake() Time {
 // gap as Idle (a blocked process woken by a message arrival).
 func (p *Proc) catchUp() {
 	if p.wake > p.clock {
-		p.charges[Idle] += p.wake - p.clock
+		p.charges[p.idleCat] += p.wake - p.clock
 		if p.onCharge != nil {
-			p.onCharge(Idle, p.clock, p.wake)
+			p.onCharge(p.idleCat, p.clock, p.wake)
 		}
 		p.clock = p.wake
 	}

@@ -7,6 +7,7 @@ package stats
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 
 	"dpa/internal/machine"
@@ -24,12 +25,14 @@ type Breakdown struct {
 	CacheMisses int64
 }
 
-// Busy returns all non-idle cycles (injected stalls count as idle: the node
-// does no work while stalled).
+// Busy returns all non-idle cycles (injected stalls and fetch stalls count
+// as idle: the node does no work while stalled).
 func (b *Breakdown) Busy() sim.Time {
 	var t sim.Time
 	for c, v := range b.Cycles {
-		if sim.Category(c) != sim.Idle && sim.Category(c) != sim.Stall {
+		switch sim.Category(c) {
+		case sim.Idle, sim.Stall, sim.FetchStall:
+		default:
 			t += v
 		}
 	}
@@ -95,6 +98,19 @@ type RTStats struct {
 	// owner became unreachable (graceful degradation under fault
 	// injection).
 	Abandoned int64
+	// Refetches counts fetches of objects this node had already fetched
+	// earlier in the phase (and since dropped — at a strip boundary under
+	// DPA, by eviction under caching, on every re-access under blocking).
+	// Refetches/Fetches is the refetch ratio the adaptive controller
+	// steers on.
+	Refetches int64
+	// StripGrows/StripShrinks count strip-size changes made by the
+	// adaptive controller (zero for static runs).
+	StripGrows   int64
+	StripShrinks int64
+	// FinalStrip is the strip size the adaptive controller converged to
+	// (max over nodes; zero for static runs).
+	FinalStrip int64
 }
 
 // merge combines counters from another node or phase.
@@ -106,6 +122,12 @@ func (r *RTStats) merge(o RTStats) {
 	r.Fetches += o.Fetches
 	r.ReqMsgs += o.ReqMsgs
 	r.Abandoned += o.Abandoned
+	r.Refetches += o.Refetches
+	r.StripGrows += o.StripGrows
+	r.StripShrinks += o.StripShrinks
+	if o.FinalStrip > r.FinalStrip {
+		r.FinalStrip = o.FinalStrip
+	}
 	if o.PeakOutstanding > r.PeakOutstanding {
 		r.PeakOutstanding = o.PeakOutstanding
 	}
@@ -148,11 +170,28 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.UnknownHandler += o.UnknownHandler
 }
 
+// AdaptPoint is one strip-size decision by the adaptive controller: during
+// top-level loop Loop of a phase, the strip size for the next strip became
+// Strip. Traces are recorded on node 0 (every node adapts independently;
+// node 0 is the representative shown in run tables).
+type AdaptPoint struct {
+	Loop  int32
+	Strip int32
+}
+
+// maxAdaptTrace caps the adaptation trace kept on a Run when phases merge,
+// so long multi-phase runs stay bounded.
+const maxAdaptTrace = 128
+
 // Run is the result of one simulated phase (or the merge of several).
 type Run struct {
 	Makespan sim.Time
 	Nodes    []Breakdown
 	RT       RTStats
+	// Adapt is node 0's strip-adaptation trace (empty for static runs).
+	// Like every other field it is deterministic, so it participates in the
+	// cross-engine Diff.
+	Adapt []AdaptPoint
 	// Faults aggregates fault-injection and reliability counters; the zero
 	// value means a fault-free run.
 	Faults FaultStats
@@ -203,6 +242,13 @@ func (r *Run) Merge(o Run) {
 		r.Nodes[i].add(o.Nodes[i])
 	}
 	r.RT.merge(o.RT)
+	if room := maxAdaptTrace - len(r.Adapt); room > 0 {
+		a := o.Adapt
+		if len(a) > room {
+			a = a[:room]
+		}
+		r.Adapt = append(r.Adapt, a...)
+	}
 	r.Faults.Add(o.Faults)
 	r.Err = joinErrs(r.Err, o.Err)
 	if o.Timeline != nil {
@@ -249,7 +295,8 @@ func (r *Run) AvgPerNode() (local, comm, idle sim.Time) {
 	}
 	t := r.Total()
 	n := sim.Time(len(r.Nodes))
-	return t.Local() / n, t.CommOverhead() / n, (t.Cycles[sim.Idle] + t.Cycles[sim.Stall]) / n
+	return t.Local() / n, t.CommOverhead() / n,
+		(t.Cycles[sim.Idle] + t.Cycles[sim.Stall] + t.Cycles[sim.FetchStall]) / n
 }
 
 // MsgsSent returns total messages sent across nodes.
@@ -291,6 +338,9 @@ func (r *Run) Diff(o Run) string {
 	if r.RT != o.RT {
 		return fmt.Sprintf("runtime counters %+v != %+v", r.RT, o.RT)
 	}
+	if !slices.Equal(r.Adapt, o.Adapt) {
+		return fmt.Sprintf("adaptation trace %v != %v", r.Adapt, o.Adapt)
+	}
 	if r.Faults != o.Faults {
 		return fmt.Sprintf("fault counters %+v != %+v", r.Faults, o.Faults)
 	}
@@ -298,6 +348,28 @@ func (r *Run) Diff(o Run) string {
 		return fmt.Sprintf("errors %q != %q", es, os)
 	}
 	return ""
+}
+
+// adaptTrace renders node 0's strip-change sequence compactly, grouped by
+// top-level loop: "L0:→100→200; L1:→400". An empty trace (the controller
+// never moved) renders as "held".
+func adaptTrace(a []AdaptPoint) string {
+	if len(a) == 0 {
+		return "held"
+	}
+	var b strings.Builder
+	last := int32(-1)
+	for _, p := range a {
+		if p.Loop != last {
+			if last >= 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "L%d:", p.Loop)
+			last = p.Loop
+		}
+		fmt.Fprintf(&b, "→%d", p.Strip)
+	}
+	return b.String()
 }
 
 func errString(err error) string {
@@ -330,6 +402,10 @@ func (r *Run) Table(clockHz float64) string {
 	}
 	fmt.Fprintf(&b, "peak      %d outstanding threads, %.1f KB renamed copies\n",
 		rt.PeakOutstanding, float64(rt.PeakArrivedBytes)/1024)
+	if rt.FinalStrip > 0 {
+		fmt.Fprintf(&b, "adaptive  strip %s final %d (%d grows, %d shrinks), %d refetches\n",
+			adaptTrace(r.Adapt), rt.FinalStrip, rt.StripGrows, rt.StripShrinks, rt.Refetches)
+	}
 	if f := r.Faults; f.Any() {
 		fmt.Fprintf(&b, "faults    %d dropped, %d duplicated, %d jittered, %d stalls\n",
 			f.Dropped, f.Duplicated, f.Jittered, f.Stalls)
