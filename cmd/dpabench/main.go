@@ -15,6 +15,13 @@
 // schedule is a pure function of -fault-seed and each sender's program
 // order, so the same flags reproduce the same faulty run on both engines.
 //
+// Observability: -trace prints a per-node activity Gantt chart (bin width
+// set by -tracebins); -traceout FILE exports a Chrome trace_event JSON file
+// loadable in Perfetto or chrome://tracing; -metrics FILE writes the run's
+// counters as Prometheus text (or JSON when FILE ends in .json). Exported
+// traces and metrics are bit-identical across engines and repeats.
+// -cpuprofile/-memprofile write host pprof profiles of the simulator itself.
+//
 // With -json, dpabench instead measures the host performance of the
 // simulator itself: it benchmarks the configured run under both engines
 // (testing.Benchmark) and emits the measurements as JSON — the format of
@@ -25,8 +32,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
@@ -37,6 +46,7 @@ import (
 	"dpa/internal/fmm"
 	"dpa/internal/machine"
 	"dpa/internal/nbody"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -65,8 +75,34 @@ func main() {
 	stallCycles := flag.Int64("stall-cycles", 0, "duration of one injected stall in cycles")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-schedule seed")
 	trace := flag.Bool("trace", false, "print a per-node activity Gantt chart")
+	traceBins := flag.Int64("tracebins", 50_000, "timeline bin width in cycles for -trace")
+	traceOut := flag.String("traceout", "", "write a Chrome trace_event JSON trace to this file")
+	metricsOut := flag.String("metrics", "", "write run metrics to this file (.json = JSON, otherwise Prometheus text)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a host heap profile to this file on exit")
 	jsonOut := flag.Bool("json", false, "benchmark the host performance of both engines and emit JSON")
 	flag.Parse()
+
+	if *traceBins <= 0 {
+		fmt.Fprintf(os.Stderr, "dpabench: -tracebins must be positive, got %d\n", *traceBins)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memProfile)
 
 	var spec driver.Spec
 	switch *rtName {
@@ -96,7 +132,12 @@ func main() {
 		os.Exit(1)
 	}
 	if *trace {
-		mcfg.TraceBins = 50_000 // ~0.3 ms bins at 150 MHz; Gantt re-bins to fit
+		mcfg.TraceBins = sim.Time(*traceBins) // default ~0.3 ms bins at 150 MHz; Gantt re-bins to fit
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(*nodes, 0)
+		mcfg.Obs = tracer
 	}
 	if *faults || *dropRate > 0 || *dupRate > 0 || *jitterRate > 0 || *stallRate > 0 {
 		mcfg.Faults = machine.FaultConfig{
@@ -161,6 +202,44 @@ func main() {
 			fmt.Printf("%3d |%s|\n", i, row)
 		}
 	}
+	if tracer != nil {
+		writeOut(*traceOut, tracer.WriteChromeTrace)
+	}
+	if *metricsOut != "" {
+		reg := run.Metrics()
+		write := reg.WritePrometheus
+		if strings.HasSuffix(*metricsOut, ".json") {
+			write = reg.WriteJSON
+		}
+		writeOut(*metricsOut, write)
+	}
+}
+
+// writeOut creates path and fills it with write, exiting on any error.
+func writeOut(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeMemProfile writes a heap profile on exit when -memprofile is set.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	runtime.GC() // settle allocations so the profile reflects live data
+	writeOut(path, pprof.WriteHeapProfile)
 }
 
 // stripSweep runs the app once per static strip size plus once adaptively

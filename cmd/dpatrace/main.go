@@ -1,0 +1,356 @@
+// Command dpatrace analyzes a Chrome trace_event JSON file exported by the
+// simulator's observability layer (dpabench -traceout, or
+// Tracer.WriteChromeTrace): it reports per-node charge totals, a per-pointer
+// fetch-latency histogram, and an estimate of the run's critical path.
+//
+// Usage:
+//
+//	dpatrace [-top 5] trace.json
+//
+// The fetch-latency histogram pairs each pointer's fetch_req event with its
+// fetch_reply on the same node and buckets the round-trip times into
+// power-of-two bins. The critical path walks backward from the last busy
+// span in the trace: within a node it follows back-to-back busy spans, and
+// across an idle gap ended by a fetch reply it hops to the owner node that
+// served the fetch — approximating the dependency chain that determined the
+// makespan.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	top := flag.Int("top", 5, "rows to show in per-node and histogram tables")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dpatrace [-top N] trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpatrace: %v\n", err)
+		os.Exit(1)
+	}
+	tr, err := parseTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpatrace: %v\n", err)
+		os.Exit(1)
+	}
+	printTotals(tr, *top)
+	printLatencies(fetchLatencies(tr), *top)
+	printCriticalPath(criticalPath(tr))
+}
+
+// traceEvent is the subset of a Chrome trace_event record the analyzer uses.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+// arg reads an integer argument (numbers arrive as float64 from
+// encoding/json; virtual-cycle values stay well inside float64's exact
+// integer range).
+func (e *traceEvent) arg(k string) int64 {
+	if v, ok := e.Args[k].(float64); ok {
+		return int64(v)
+	}
+	return 0
+}
+
+// span is one charge interval on a node.
+type span struct {
+	start, end int64
+	cat        string
+}
+
+// instant is one discrete event on a node.
+type instant struct {
+	ts     int64
+	name   string
+	a1, a2 int64
+}
+
+// nodeTrace is one node's reconstructed record.
+type nodeTrace struct {
+	spans  []span    // charge spans, in time order
+	events []instant // discrete events, in time order
+}
+
+// trace is the reconstructed multi-node trace.
+type trace struct {
+	nodes map[int]*nodeTrace
+	pids  []int // sorted node ids
+}
+
+// idleCats are the charge categories that represent waiting, not progress.
+var idleCats = map[string]bool{"idle": true, "stall": true, "fetchstall": true}
+
+func parseTrace(data []byte) (*trace, error) {
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing trace: %w", err)
+	}
+	tr := &trace{nodes: map[int]*nodeTrace{}}
+	node := func(pid int) *nodeTrace {
+		nt := tr.nodes[pid]
+		if nt == nil {
+			nt = &nodeTrace{}
+			tr.nodes[pid] = nt
+			tr.pids = append(tr.pids, pid)
+		}
+		return nt
+	}
+	for i := range doc.TraceEvents {
+		e := &doc.TraceEvents[i]
+		switch {
+		case e.Ph == "X" && e.Cat == "charge":
+			node(e.Pid).spans = append(node(e.Pid).spans,
+				span{start: e.Ts, end: e.Ts + e.Dur, cat: e.Name})
+		case e.Ph == "i" && e.Cat == "event":
+			node(e.Pid).events = append(node(e.Pid).events,
+				instant{ts: e.Ts, name: e.Name, a1: e.arg("a1"), a2: e.arg("a2")})
+		}
+	}
+	if len(tr.pids) == 0 {
+		return nil, fmt.Errorf("no charge spans or events found (is this an exported simulator trace?)")
+	}
+	sort.Ints(tr.pids)
+	for _, nt := range tr.nodes {
+		sort.SliceStable(nt.spans, func(i, j int) bool { return nt.spans[i].start < nt.spans[j].start })
+		sort.SliceStable(nt.events, func(i, j int) bool { return nt.events[i].ts < nt.events[j].ts })
+	}
+	return tr, nil
+}
+
+func printTotals(tr *trace, top int) {
+	fmt.Printf("nodes: %d\n\nper-node charge totals (cycles):\n", len(tr.pids))
+	fmt.Printf("%5s %12s %12s %12s\n", "node", "busy", "waiting", "total")
+	type row struct {
+		pid                  int
+		busy, waiting, total int64
+	}
+	rows := make([]row, 0, len(tr.pids))
+	for _, pid := range tr.pids {
+		r := row{pid: pid}
+		for _, s := range tr.nodes[pid].spans {
+			d := s.end - s.start
+			r.total += d
+			if idleCats[s.cat] {
+				r.waiting += d
+			} else {
+				r.busy += d
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].busy > rows[j].busy })
+	for i, r := range rows {
+		if i >= top {
+			fmt.Printf("  ... %d more nodes\n", len(rows)-top)
+			break
+		}
+		fmt.Printf("%5d %12d %12d %12d\n", r.pid, r.busy, r.waiting, r.total)
+	}
+}
+
+// fetchLatencies pairs every fetch_req with the same pointer's fetch_reply
+// on the same node and returns the round-trip latencies in cycles.
+func fetchLatencies(tr *trace) []int64 {
+	var out []int64
+	for _, pid := range tr.pids {
+		pending := map[int64]int64{} // pointer key -> request ts
+		for _, e := range tr.nodes[pid].events {
+			switch e.name {
+			case "fetch_req":
+				pending[e.a1] = e.ts
+			case "fetch_reply":
+				if ts, ok := pending[e.a1]; ok {
+					out = append(out, e.ts-ts)
+					delete(pending, e.a1)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// latencyHistogram buckets latencies into power-of-two bins; bucket k counts
+// latencies in [2^k, 2^(k+1)).
+func latencyHistogram(lats []int64) map[int]int {
+	h := map[int]int{}
+	for _, l := range lats {
+		k := 0
+		for v := l; v > 1; v >>= 1 {
+			k++
+		}
+		h[k]++
+	}
+	return h
+}
+
+func printLatencies(lats []int64, top int) {
+	fmt.Printf("\nfetch latency (request to reply, %d fetches):\n", len(lats))
+	if len(lats) == 0 {
+		return
+	}
+	var sum int64
+	for _, l := range lats {
+		sum += l
+	}
+	sorted := append([]int64(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	fmt.Printf("  mean %d  p50 %d  p99 %d  max %d cycles\n",
+		sum/int64(len(lats)), sorted[len(sorted)/2],
+		sorted[len(sorted)*99/100], sorted[len(sorted)-1])
+	h := latencyHistogram(lats)
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	peak := 0
+	for _, k := range keys {
+		if h[k] > peak {
+			peak = h[k]
+		}
+	}
+	for _, k := range keys {
+		bar := h[k] * 40 / peak
+		fmt.Printf("  %10d-%-10d %7d |%s\n", int64(1)<<k, int64(1)<<(k+1)-1, h[k], bars(bar))
+	}
+}
+
+func bars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// cpResult summarizes the critical-path walk.
+type cpResult struct {
+	makespan int64 // end of the last busy span
+	busy     int64 // busy cycles on the path
+	hops     int   // cross-node jumps along fetch dependencies
+	segments int   // busy spans traversed
+}
+
+// criticalPath walks backward from the trace's last busy span: consecutive
+// busy spans on one node chain directly; a span released after an idle gap
+// hops along the message that released it — a fetch_reply hops to the owner
+// node that served the fetch (its fetch_serve for this requester), and a
+// fetch_serve hops to the requester whose fetch_req woke this owner. Gaps
+// with no attributable sender are skipped backward on the same node.
+func criticalPath(tr *trace) cpResult {
+	// Start at the node whose busy record ends last.
+	cur, t := -1, int64(-1)
+	for _, pid := range tr.pids {
+		for _, s := range tr.nodes[pid].spans {
+			if !idleCats[s.cat] && s.end > t {
+				cur, t = pid, s.end
+			}
+		}
+	}
+	res := cpResult{makespan: t}
+	if cur < 0 {
+		return res
+	}
+	for t > 0 && res.segments < 1_000_000 {
+		nt := tr.nodes[cur]
+		// Latest busy span starting before t (clipped to t).
+		i := sort.Search(len(nt.spans), func(i int) bool { return nt.spans[i].start >= t })
+		segIdx := -1
+		for j := i - 1; j >= 0; j-- {
+			if !idleCats[nt.spans[j].cat] {
+				segIdx = j
+				break
+			}
+		}
+		if segIdx < 0 {
+			break // start of this node's record
+		}
+		seg := nt.spans[segIdx]
+		end := seg.end
+		if end > t {
+			end = t
+		}
+		res.busy += end - seg.start
+		res.segments++
+		t = seg.start
+		// A span run that follows an idle gap was released by a message.
+		// On waking, the node polls and then handles the message, and the
+		// fetch event is recorded in that handler span — so the releaser is
+		// the FIRST fetch event after the gap begins (later events in the
+		// run arrived while the node was already busy). Back-to-back busy
+		// spans (no idle gap) never hop.
+		gapStart := int64(0)
+		for j := segIdx - 1; j >= 0; j-- {
+			if !idleCats[nt.spans[j].cat] {
+				gapStart = nt.spans[j].end
+				break
+			}
+		}
+		if gapStart >= t {
+			continue // back-to-back busy spans: stay on this node
+		}
+		k := sort.Search(len(nt.events), func(i int) bool { return nt.events[i].ts > gapStart })
+		for ; k < len(nt.events); k++ {
+			e := nt.events[k]
+			var peer int
+			switch e.name {
+			case "fetch_reply":
+				peer = int(e.a2) // owner that served us
+			case "fetch_serve":
+				peer = int(e.a1) // requester that woke us
+			default:
+				continue // barrier etc.: no attributable sender
+			}
+			if peer == cur || tr.nodes[peer] == nil {
+				break
+			}
+			// Hop to the peer's matching event at or before ours: the
+			// owner's fetch_serve of this requester for a reply, or the
+			// requester's fetch_req to this owner for a serve.
+			pe := tr.nodes[peer].events
+			m := sort.Search(len(pe), func(i int) bool { return pe[i].ts > e.ts })
+			for x := m - 1; x >= 0; x-- {
+				p := pe[x]
+				if p.ts < t &&
+					((e.name == "fetch_reply" && p.name == "fetch_serve" && int(p.a1) == cur) ||
+						(e.name == "fetch_serve" && p.name == "fetch_req" && int(p.a2) == cur)) {
+					cur, t = peer, p.ts
+					res.hops++
+					break
+				}
+			}
+			break
+		}
+	}
+	return res
+}
+
+func printCriticalPath(cp cpResult) {
+	fmt.Printf("\ncritical path (backward walk over busy spans and fetch dependencies):\n")
+	fmt.Printf("  makespan %d cycles, path busy %d cycles (%.1f%%), %d segments, %d cross-node hops\n",
+		cp.makespan, cp.busy, pct(cp.busy, cp.makespan), cp.segments, cp.hops)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -29,6 +29,7 @@ import (
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/machine"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -99,6 +100,26 @@ type (
 	// FaultStats are the merged fault and recovery counters of a run.
 	FaultStats = stats.FaultStats
 )
+
+// Observability types.
+type (
+	// Tracer is the structured virtual-time event tracer: per node,
+	// coalesced charge spans plus discrete runtime events, exportable as
+	// Chrome trace_event JSON via WriteChromeTrace.
+	Tracer = obs.Tracer
+	// MetricsRegistry holds named counters and gauges, exportable as
+	// Prometheus text and JSON; see RunStats.Metrics.
+	MetricsRegistry = obs.Registry
+)
+
+// NewTracer creates a tracer for the given node count; eventCap bounds the
+// per-node event ring (<= 0 selects the default). Pass it to RunPhase via
+// WithTracer; one tracer may span several consecutive phases.
+func NewTracer(nodes, eventCap int) *Tracer { return obs.NewTracer(nodes, eventCap) }
+
+// WithTracer attaches a structured observability tracer to the phase. The
+// tracer must have been built for the machine's node count.
+func WithTracer(t *Tracer) RunOption { return driver.WithTracer(t) }
 
 // ErrUnreachable is the sentinel error wrapped by a run's Err when a node
 // exhausted its retransmission budget to a peer; test with errors.Is.

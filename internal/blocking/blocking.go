@@ -12,6 +12,7 @@ import (
 
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -65,6 +66,9 @@ func RegisterProto(net *fm.Net) *Proto {
 func onFetchReq(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	req := m.Payload.(fetchReq)
+	if rt.trc != nil {
+		rt.trc.Event(obs.KFetchServe, ep.Node.Now(), int64(m.From), 1)
+	}
 	ep.Node.Touch(req.ptr.Key())
 	o := rt.Space.Get(req.ptr)
 	ep.Send(m.From, rt.proto.hReply, fetchReply{ptr: req.ptr, obj: o},
@@ -74,6 +78,9 @@ func onFetchReq(ep *fm.EP, m sim.Message) {
 func onFetchReply(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	rep := m.Payload.(fetchReply)
+	if rt.trc != nil {
+		rt.trc.Event(obs.KFetchReply, ep.Node.Now(), int64(rep.ptr.Key()), int64(m.From))
+	}
 	rt.replyObj = rep.obj
 	rt.replyPtr = rep.ptr
 	rt.replyOK = true
@@ -96,13 +103,14 @@ type RT struct {
 
 	err error // first degradation error (unreachable owners), if any
 
-	st stats.RTStats
+	trc *obs.NodeTrace // nil unless the phase has a tracer attached
+	st  stats.RTStats
 }
 
 // New creates the blocking runtime for one node.
 func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 	rt := &RT{EP: ep, Space: space, Cfg: cfg, proto: proto,
-		seen: make(map[gptr.Ptr]struct{})}
+		seen: make(map[gptr.Ptr]struct{}), trc: ep.Node.Obs()}
 	ep.Ctx = rt
 	return rt
 }
@@ -155,6 +163,9 @@ func (rt *RT) fetch(p gptr.Ptr) (gptr.Object, bool) {
 	}
 	rt.st.ReqMsgs++
 	dst := int(p.Node)
+	if rt.trc != nil {
+		rt.trc.Event(obs.KFetchReq, rt.EP.Node.Now(), int64(p.Key()), int64(dst))
+	}
 	rt.EP.Send(dst, rt.proto.hReq, fetchReq{ptr: p},
 		msgHeaderBytes+gptr.PtrBytes)
 	n := rt.EP.Node

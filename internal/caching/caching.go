@@ -20,6 +20,7 @@ import (
 
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -98,6 +99,9 @@ func RegisterProto(net *fm.Net) *Proto {
 func onFetchReq(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	req := m.Payload.(fetchReq)
+	if rt.trc != nil {
+		rt.trc.Event(obs.KFetchServe, ep.Node.Now(), int64(m.From), 1)
+	}
 	ep.Node.Touch(req.ptr.Key())
 	o := rt.Space.Get(req.ptr)
 	ep.Send(m.From, rt.proto.hReply, fetchReply{ptr: req.ptr, obj: o},
@@ -107,6 +111,9 @@ func onFetchReq(ep *fm.EP, m sim.Message) {
 func onFetchReply(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	rep := m.Payload.(fetchReply)
+	if rt.trc != nil {
+		rt.trc.Event(obs.KFetchReply, ep.Node.Now(), int64(rep.ptr.Key()), int64(m.From))
+	}
 	if rt.pendingByDest[m.From] > 0 {
 		rt.pendingByDest[m.From]--
 		rt.pendingReplies--
@@ -158,7 +165,8 @@ type RT struct {
 
 	err error // first degradation error (unreachable owners), if any
 
-	st stats.RTStats
+	trc *obs.NodeTrace // nil unless the phase has a tracer attached
+	st  stats.RTStats
 }
 
 type readyEntry struct {
@@ -179,6 +187,7 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 		waitersFor:    make(map[gptr.Ptr][]Thread),
 		pendingByDest: make([]int, ep.Node.N()),
 		seen:          make(map[gptr.Ptr]struct{}),
+		trc:           ep.Node.Obs(),
 	}
 	ep.Ctx = rt
 	return rt
@@ -235,6 +244,9 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 		rt.seen[p] = struct{}{}
 	}
 	rt.st.ReqMsgs++
+	if rt.trc != nil {
+		rt.trc.Event(obs.KFetchReq, rt.EP.Node.Now(), int64(p.Key()), int64(p.Node))
+	}
 	rt.EP.Send(int(p.Node), rt.proto.hReq, fetchReq{ptr: p},
 		msgHeaderBytes+gptr.PtrBytes)
 	rt.pendingReplies++

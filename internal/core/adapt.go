@@ -1,6 +1,7 @@
 package core
 
 import (
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -145,6 +146,9 @@ func (rt *RT) adaptStrip() {
 	if len(rt.trace) < maxTracePoints {
 		rt.trace = append(rt.trace, stats.AdaptPoint{Loop: c.loop, Strip: int32(next)})
 	}
+	if rt.trc != nil {
+		rt.trc.Event(obs.KAdapt, rt.EP.Node.Now(), int64(next), int64(c.loop))
+	}
 	c.strip = next
 }
 
@@ -175,6 +179,9 @@ func (rt *RT) forAllAdaptive(n int, spawnIter func(i int)) {
 		}
 		rt.Drain()
 		rt.endStripAdaptive()
+		if rt.trc != nil {
+			rt.trc.Event(obs.KStrip, rt.EP.Node.Now(), int64(lo), int64(hi-lo))
+		}
 		rt.adaptStrip()
 		lo = hi
 	}

@@ -30,6 +30,7 @@ import (
 
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -189,6 +190,9 @@ func RegisterProto(net *fm.Net) *Proto {
 func onFetchReq(ep *fm.EP, m sim.Message) {
 	rt := ep.Ctx.(*RT)
 	req := m.Payload.(*fetchReq)
+	if rt.trc != nil {
+		rt.trc.Event(obs.KFetchServe, ep.Node.Now(), int64(m.From), int64(len(req.ptrs)))
+	}
 	rep := rt.pool.getReply()
 	rep.ptrs = req.ptrs // echoed back; recycled by the requester
 	rep.objs = rt.pool.getObjs(len(req.ptrs))
@@ -231,6 +235,9 @@ func onFetchReply(ep *fm.EP, m sim.Message) {
 		}
 		e.obj = o
 		e.arrived = true
+		if rt.trc != nil {
+			rt.trc.Event(obs.KFetchReply, ep.Node.Now(), int64(p.Key()), int64(m.From))
+		}
 		rt.arrivedBytes += int64(o.ByteSize())
 		if rt.arrivedBytes > rt.st.PeakArrivedBytes {
 			rt.st.PeakArrivedBytes = rt.arrivedBytes
@@ -267,6 +274,9 @@ func (rt *RT) scatterReply(owner int, rep *fetchReply) {
 		o := rep.objs[i]
 		e.obj = o
 		e.arrived = true
+		if rt.trc != nil {
+			rt.trc.Event(obs.KFetchReply, rt.EP.Node.Now(), int64(p.Key()), int64(owner))
+		}
 		rt.arrivedBytes += int64(o.ByteSize())
 		if rt.arrivedBytes > rt.st.PeakArrivedBytes {
 			rt.st.PeakArrivedBytes = rt.arrivedBytes
@@ -328,6 +338,10 @@ type RT struct {
 	st           stats.RTStats
 	pool         pools
 
+	// trc is the node's observability handle (nil when tracing is off),
+	// cached at construction so hot-path emission sites pay one nil check.
+	trc *obs.NodeTrace
+
 	// Adaptive mode (Cfg.Adaptive); see adapt.go and ownerq.go.
 	adaptive  bool
 	oq        ownerQueue // owner-major ready queue (replaces ready)
@@ -353,6 +367,7 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 		pendingByDest: make([]int, ep.Node.N()),
 		seen:          make(map[gptr.Ptr]struct{}),
 		adaptive:      cfg.Adaptive,
+		trc:           ep.Node.Obs(),
 	}
 	if rt.adaptive {
 		n := ep.Node.N()
@@ -476,6 +491,12 @@ func (rt *RT) flushDest(dst int) {
 		if hi > len(ptrs) {
 			hi = len(ptrs)
 		}
+		if rt.trc != nil {
+			now := rt.EP.Node.Now()
+			for _, p := range ptrs[lo:hi] {
+				rt.trc.Event(obs.KFetchReq, now, int64(p.Key()), int64(dst))
+			}
+		}
 		req := rt.pool.getReq()
 		req.ptrs = append(rt.pool.getPtrs(), ptrs[lo:hi]...)
 		rt.EP.Send(dst, rt.proto.hReq, req,
@@ -593,10 +614,17 @@ func (rt *RT) runOne() {
 		e = rt.ready.pop()
 	}
 	n := rt.EP.Node
+	var t0 sim.Time
+	if rt.trc != nil {
+		t0 = n.Now()
+	}
 	n.Charge(sim.SchedOv, rt.Cfg.ExecCost)
 	n.Touch(e.key)
 	rt.st.ThreadsRun++
 	e.fn(e.obj)
+	if rt.trc != nil {
+		rt.trc.EventDur(obs.KThread, t0, n.Now()-t0, int64(e.key), 0)
+	}
 }
 
 // ForAll is the strip-mined top-level concurrent loop: it runs
@@ -625,6 +653,9 @@ func (rt *RT) ForAll(n int, spawnIter func(i int)) {
 		}
 		rt.Drain()
 		rt.endStrip()
+		if rt.trc != nil {
+			rt.trc.Event(obs.KStrip, rt.EP.Node.Now(), int64(lo), int64(hi-lo))
+		}
 	}
 }
 

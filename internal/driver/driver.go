@@ -12,6 +12,7 @@ import (
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/machine"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -210,6 +211,7 @@ type runConfig struct {
 	engine    sim.EngineKind
 	engineSet bool
 	traceBins sim.Time
+	obs       *obs.Tracer
 	validate  bool
 	faults    machine.FaultConfig
 	faultsSet bool
@@ -226,6 +228,16 @@ func WithEngine(kind sim.EngineKind) RunOption {
 // cycles (see machine.Config.TraceBins).
 func WithTrace(binWidth sim.Time) RunOption {
 	return func(rc *runConfig) { rc.traceBins = binWidth }
+}
+
+// WithTracer attaches a structured observability tracer to the phase: per
+// node, coalesced charge spans plus discrete fetch/strip/fault/barrier
+// events, exportable as Chrome trace_event JSON (see the obs package). The
+// tracer must have been built for the machine's node count. One tracer may be
+// passed to several consecutive phases; each phase appends after the previous
+// one on a shared virtual timeline.
+func WithTracer(t *obs.Tracer) RunOption {
+	return func(rc *runConfig) { rc.obs = t }
 }
 
 // WithValidation runs the phase a second time under the other engine and
@@ -263,6 +275,9 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 	if rc.traceBins > 0 {
 		mcfg.TraceBins = rc.traceBins
 	}
+	if rc.obs != nil {
+		mcfg.Obs = rc.obs
+	}
 	if rc.faultsSet {
 		mcfg.Faults = rc.faults
 	}
@@ -272,6 +287,9 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 	run := runOnce(mcfg, space, spec, body)
 	if rc.validate {
 		other := mcfg
+		// The check run must not re-record into the caller's tracer: it
+		// would duplicate every event and advance the phase offset twice.
+		other.Obs = nil
 		if mcfg.Engine == sim.Parallel {
 			other.Engine = sim.Sequential
 		} else {

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"dpa/internal/machine"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 )
 
@@ -98,6 +99,10 @@ type EP struct {
 	errs        []error
 	errsDropped int
 
+	// trc is the node's observability handle (nil when tracing is off),
+	// cached at endpoint construction so emission sites pay one nil check.
+	trc *obs.NodeTrace
+
 	barrierCount int // arrivals seen (node 0 only)
 	barrierEpoch int // releases seen
 	barrierAt    int // barriers this node has completed
@@ -114,7 +119,7 @@ type EP struct {
 // endpoint enables it transparently.
 func NewEP(net *Net, n *machine.Node) *EP {
 	net.sealed.Store(true)
-	ep := &EP{Node: n, net: net}
+	ep := &EP{Node: n, net: net, trc: n.Obs()}
 	if fc := &n.Cfg().Faults; fc.NeedsReliability() {
 		ep.rel = newRelState(fc, n.N())
 	}
@@ -245,6 +250,7 @@ func (ep *EP) Barrier() {
 	n := ep.Node.N()
 	if n == 1 {
 		ep.barrierEpoch++
+		ep.traceBarrier()
 		return
 	}
 	if ep.Node.ID() == 0 {
@@ -262,6 +268,7 @@ func (ep *EP) Barrier() {
 			ep.Send(j, hBarrierRelease, nil, 4)
 		}
 		ep.barrierEpoch++
+		ep.traceBarrier()
 		return
 	}
 	ep.Send(0, hBarrierArrive, nil, 4)
@@ -271,6 +278,17 @@ func (ep *EP) Barrier() {
 	if ep.barrierEpoch < ep.barrierAt {
 		ep.fail(&CollectiveError{Op: "barrier", Node: ep.Node.ID(), Missing: 1})
 		ep.barrierEpoch = ep.barrierAt
+	}
+	ep.traceBarrier()
+}
+
+// traceBarrier records a completed barrier on this node's trace: the stamp is
+// the node's local completion time, the argument the barrier ordinal. Emitted
+// from the fm layer (not the engine) so the record is identical under both
+// engines — barrier completion is a program-order fact, engine epochs are not.
+func (ep *EP) traceBarrier() {
+	if ep.trc != nil {
+		ep.trc.Event(obs.KBarrier, ep.Node.Now(), int64(ep.barrierAt), 0)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dpa/internal/machine"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 	"dpa/internal/stats"
 )
@@ -272,6 +273,9 @@ func (ep *EP) relPump() {
 			pd.attempts++
 			ep.Node.Send(dst, hRelData, pd.frame, pd.wire)
 			ep.fs.Retransmits++
+			if ep.trc != nil {
+				ep.trc.Event(obs.KRetransmit, ep.Node.Now(), int64(dst), int64(pd.frame.Seq))
+			}
 			pd.rto *= r.backoff
 			pd.deadline = ep.Node.Now() + pd.rto
 		}

@@ -12,6 +12,7 @@ package machine
 import (
 	"fmt"
 
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 )
 
@@ -54,6 +55,17 @@ type Config struct {
 	// TraceBins, when positive, enables activity-timeline recording with
 	// the given bin width in cycles (see Timeline).
 	TraceBins sim.Time
+	// TraceHorizon, when positive, is the expected makespan in cycles. It
+	// pre-sizes timeline bin storage so recording does not grow slices on
+	// the hot path; runs longer than the horizon still record correctly.
+	TraceHorizon sim.Time
+
+	// Obs, when non-nil, attaches the structured observability tracer: per
+	// node, coalesced charge spans plus discrete events from the messaging
+	// and runtime layers. The tracer's node count must equal Nodes. A single
+	// tracer may span several machines run back to back (multi-phase runs);
+	// each Run advances its phase offset by the phase makespan.
+	Obs *obs.Tracer
 
 	// Engine selects the simulation engine (sim.Sequential, the zero value,
 	// or sim.Parallel). Both produce bit-identical results; the parallel
@@ -119,6 +131,12 @@ func (c *Config) Validate() error {
 	if c.SendOverhead < 0 || c.RecvOverhead < 0 || c.PollCost < 0 || c.HandlerCost < 0 ||
 		c.LatencyBase < 0 || c.LatencyPerHop < 0 {
 		return fmt.Errorf("machine: per-operation costs must be non-negative")
+	}
+	if c.TraceHorizon < 0 {
+		return fmt.Errorf("machine: TraceHorizon = %d, must be non-negative", c.TraceHorizon)
+	}
+	if c.Obs != nil && c.Obs.Nodes() != c.Nodes {
+		return fmt.Errorf("machine: Obs tracer built for %d nodes, machine has %d", c.Obs.Nodes(), c.Nodes)
 	}
 	if c.Engine == sim.Parallel && c.Lookahead() <= 0 {
 		return fmt.Errorf("machine: parallel engine requires SendOverhead+LatencyBase > 0 (lookahead = %d)", c.Lookahead())
@@ -231,19 +249,31 @@ func (m *Machine) Run(main func(n *Node)) (sim.Time, error) {
 	m.nodes = make([]*Node, m.Cfg.Nodes)
 	for i := 0; i < m.Cfg.Nodes; i++ {
 		n := &Node{mach: m, id: i, cache: newTouchSet(m.Cfg.CacheLines)}
+		if m.Cfg.Obs != nil {
+			n.trc = m.Cfg.Obs.Attach(i)
+		}
 		m.nodes[i] = n
 		p := m.eng.Spawn(func(p *sim.Proc) {
 			main(n)
 		})
 		n.proc = p
-		if m.trace != nil {
-			id := i
+		if m.trace != nil || n.trc != nil {
+			id, trc, tl := i, n.trc, m.trace
 			p.SetChargeHook(func(cat sim.Category, start, end sim.Time) {
-				m.trace.record(id, cat, start, end)
+				if tl != nil {
+					tl.record(id, cat, start, end)
+				}
+				if trc != nil {
+					trc.Span(cat, start, end)
+				}
 			})
 		}
 	}
-	return m.eng.Run()
+	makespan, err := m.eng.Run()
+	if m.Cfg.Obs != nil {
+		m.Cfg.Obs.EndPhase(makespan)
+	}
+	return makespan, err
 }
 
 // Nodes returns the machine's nodes after Run (for stats collection).
@@ -257,6 +287,9 @@ type Node struct {
 	id    int
 	proc  *sim.Proc
 	cache *touchSet
+	// trc is the node's observability handle; nil unless Config.Obs is set,
+	// so the disabled path costs one nil check per emission site.
+	trc *obs.NodeTrace
 
 	// Message accounting.
 	MsgsSent  int64
@@ -284,6 +317,10 @@ type Node struct {
 
 // ID returns the node id (0-based).
 func (n *Node) ID() int { return n.id }
+
+// Obs returns the node's observability handle, nil when tracing is disabled.
+// Upper layers (fm, core) cache it and emit their own events through it.
+func (n *Node) Obs() *obs.NodeTrace { return n.trc }
 
 // N returns the total number of nodes in the machine.
 func (n *Node) N() int { return n.mach.Cfg.Nodes }
@@ -341,14 +378,23 @@ func (n *Node) send(dst, handler int, payload any, bytes int, control bool) {
 		n.faultSeq++
 		if fate.Drop && !control {
 			n.FaultDrops++
+			if n.trc != nil {
+				n.trc.Event(obs.KFault, n.proc.Now(), obs.FaultDrop, int64(dst))
+			}
 			return
 		}
 		if fate.Jitter > 0 {
 			n.FaultJitter++
 			msg.Arrival += fate.Jitter
+			if n.trc != nil {
+				n.trc.Event(obs.KFault, n.proc.Now(), obs.FaultJitter, int64(fate.Jitter))
+			}
 		}
 		if fate.Dup && !control {
 			n.FaultDups++
+			if n.trc != nil {
+				n.trc.Event(obs.KFault, n.proc.Now(), obs.FaultDup, int64(dst))
+			}
 			dup := msg
 			dup.Arrival = arrival + fate.DupJitter
 			n.proc.Post(dst, dup)
@@ -410,6 +456,9 @@ func (n *Node) maybeStall() {
 	n.stallSeq++
 	if d > 0 {
 		n.FaultStalls++
+		if n.trc != nil {
+			n.trc.Event(obs.KFault, n.proc.Now(), obs.FaultStall, int64(d))
+		}
 		n.proc.Charge(sim.Stall, d)
 	}
 }

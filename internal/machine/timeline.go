@@ -16,7 +16,9 @@ type Timeline struct {
 }
 
 // EnableTrace turns on activity recording with the given bin width (in
-// cycles). Must be called before Run.
+// cycles). Must be called before Run. When Config.TraceHorizon is set, each
+// node's bin slice is pre-sized (capacity, not length) to cover the horizon,
+// so recording never grows storage while the simulation runs.
 func (m *Machine) EnableTrace(binWidth sim.Time) {
 	if binWidth <= 0 {
 		panic("machine: trace bin width must be positive")
@@ -24,9 +26,16 @@ func (m *Machine) EnableTrace(binWidth sim.Time) {
 	if m.nodes != nil {
 		panic("machine: EnableTrace after Run")
 	}
+	horizonBins := 0
+	if m.Cfg.TraceHorizon > 0 {
+		horizonBins = int((m.Cfg.TraceHorizon + binWidth - 1) / binWidth)
+	}
 	m.trace = &Timeline{
 		BinWidth: binWidth,
 		Bins:     make([][][sim.NumCategories]sim.Time, m.Cfg.Nodes),
+	}
+	for n := range m.trace.Bins {
+		m.trace.Bins[n] = make([][sim.NumCategories]sim.Time, 0, horizonBins)
 	}
 }
 
@@ -35,17 +44,53 @@ func (m *Machine) Trace() *Timeline { return m.trace }
 
 // record distributes the interval [start, end) of category cat over bins.
 func (t *Timeline) record(node int, cat sim.Category, start, end sim.Time) {
+	if start >= end {
+		return
+	}
+	// Grow once to cover the interval's last bin, rather than one bin per
+	// loop iteration (a no-op whenever the pre-sized capacity suffices).
+	lastBin := int((end - 1) / t.BinWidth)
+	if nb := t.Bins[node]; lastBin >= len(nb) {
+		t.Bins[node] = append(nb, make([][sim.NumCategories]sim.Time, lastBin+1-len(nb))...)
+	}
 	for start < end {
 		bin := int(start / t.BinWidth)
-		for bin >= len(t.Bins[node]) {
-			t.Bins[node] = append(t.Bins[node], [sim.NumCategories]sim.Time{})
-		}
 		binEnd := sim.Time(bin+1) * t.BinWidth
 		if binEnd > end {
 			binEnd = end
 		}
 		t.Bins[node][bin][cat] += binEnd - start
 		start = binEnd
+	}
+}
+
+// AppendShifted folds another timeline into this one with every interval
+// shifted forward by off, attributing each source bin's totals to the
+// target bin containing the source bin's (shifted) start. When off is a
+// multiple of the shared bin width — the common case, phase makespans
+// measured on the same grid — the placement is exact. The source is not
+// modified. Both timelines must share the same bin width.
+func (t *Timeline) AppendShifted(o *Timeline, off sim.Time) {
+	if o == nil {
+		return
+	}
+	if o.BinWidth != t.BinWidth {
+		panic("machine: AppendShifted across different bin widths")
+	}
+	for len(t.Bins) < len(o.Bins) {
+		t.Bins = append(t.Bins, nil)
+	}
+	for n, nb := range o.Bins {
+		for b, cats := range nb {
+			start := sim.Time(b)*o.BinWidth + off
+			bin := int(start / t.BinWidth)
+			if cur := t.Bins[n]; bin >= len(cur) {
+				t.Bins[n] = append(cur, make([][sim.NumCategories]sim.Time, bin+1-len(cur))...)
+			}
+			for c := range cats {
+				t.Bins[n][bin][c] += cats[c]
+			}
+		}
 	}
 }
 
@@ -83,6 +128,12 @@ func (t *Timeline) Gantt(width int) []string {
 			rows[i] = strings.Repeat(" ", width)
 		}
 		return rows
+	}
+	// Never render more columns than there are bins: with width > maxBins
+	// the same bin would repeat across several columns, stretching the row
+	// and misrepresenting short runs.
+	if width > maxBins {
+		width = maxBins
 	}
 	for n, nb := range t.Bins {
 		var sb strings.Builder

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metrics registry: named counters and gauges with optional labels,
+// exportable as Prometheus text exposition and as JSON. The registry is a
+// post-run artifact — values are snapshotted from a finished phase's
+// statistics, never written from simulation hot paths — so it costs nothing
+// while the simulator runs. Both exporters emit metrics in registration
+// order and samples in insertion order, making the output a pure function of
+// the snapshot sequence (diffable across engines and repeats, like the event
+// trace).
+
+// MetricType distinguishes monotone counters from point-in-time gauges.
+type MetricType uint8
+
+const (
+	// Counter is a monotonically accumulated total.
+	Counter MetricType = iota
+	// Gauge is a point-in-time or peak value.
+	Gauge
+)
+
+// String returns the Prometheus type name.
+func (t MetricType) String() string {
+	if t == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one labeled value of a metric.
+type Sample struct {
+	Labels []Label
+	Value  int64
+}
+
+// Metric is a named family of samples.
+type Metric struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// Add accumulates v into the sample with the given labels, creating it if
+// absent. Label order is part of the sample identity, so callers use a fixed
+// order per metric.
+func (m *Metric) Add(v int64, labels ...Label) {
+	for i := range m.Samples {
+		if labelsEqual(m.Samples[i].Labels, labels) {
+			m.Samples[i].Value += v
+			return
+		}
+	}
+	m.Samples = append(m.Samples, Sample{Labels: labels, Value: v})
+}
+
+// Set overwrites the sample with the given labels (creating it if absent).
+func (m *Metric) Set(v int64, labels ...Label) {
+	for i := range m.Samples {
+		if labelsEqual(m.Samples[i].Labels, labels) {
+			m.Samples[i].Value = v
+			return
+		}
+	}
+	m.Samples = append(m.Samples, Sample{Labels: labels, Value: v})
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Registry holds metrics in registration order.
+type Registry struct {
+	metrics []*Metric
+	byName  map[string]*Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]*Metric)} }
+
+// Counter returns the counter named name, registering it on first use.
+// Registering the same name with a different type panics (a programming
+// bug: metric names are compile-time constants).
+func (r *Registry) Counter(name, help string) *Metric { return r.metric(name, help, Counter) }
+
+// Gauge returns the gauge named name, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Metric { return r.metric(name, help, Gauge) }
+
+func (r *Registry) metric(name, help string, t MetricType) *Metric {
+	if m, ok := r.byName[name]; ok {
+		if m.Type != t {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, t, m.Type))
+		}
+		return m
+	}
+	m := &Metric{Name: name, Help: help, Type: t}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+// Metrics returns the registered metrics in registration order.
+func (r *Registry) Metrics() []*Metric { return r.metrics }
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.metrics {
+		if m.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+		for _, s := range m.Samples {
+			bw.WriteString(m.Name)
+			if len(s.Labels) > 0 {
+				bw.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, "%s=%q", l.Key, l.Value)
+				}
+				bw.WriteByte('}')
+			}
+			fmt.Fprintf(bw, " %d\n", s.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the registry as a JSON document: an object with a
+// "metrics" array in registration order, each metric carrying its samples
+// with labels as an object. Hand-rolled for byte-determinism, like the trace
+// exporter.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"metrics\":[")
+	for mi, m := range r.metrics {
+		if mi > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "\n{\"name\":%q,\"type\":%q,\"help\":%q,\"samples\":[", m.Name, m.Type.String(), m.Help)
+		for si, s := range m.Samples {
+			if si > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString("{\"labels\":{")
+			for i, l := range s.Labels {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, "%q:%q", l.Key, l.Value)
+			}
+			fmt.Fprintf(bw, "},\"value\":%d}", s.Value)
+		}
+		bw.WriteString("]}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// validMetricName reports whether name is a legal Prometheus metric name.
+// Exposed for tests guarding the snapshot code's name constants.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(name, "__")
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("dpa_cycles_total", "Cycles charged per category.")
+	c.Add(100, L("category", "compute"))
+	c.Add(40, L("category", "idle"))
+	c.Add(5, L("category", "compute")) // accumulates into the first sample
+	g := r.Gauge("dpa_makespan_cycles", "Phase makespan in cycles.")
+	g.Set(1234)
+	g2 := r.Gauge("dpa_peak_outstanding_threads", "")
+	g2.Set(7)
+	g2.Set(9) // Set overwrites
+	return r
+}
+
+const wantProm = `# HELP dpa_cycles_total Cycles charged per category.
+# TYPE dpa_cycles_total counter
+dpa_cycles_total{category="compute"} 105
+dpa_cycles_total{category="idle"} 40
+# HELP dpa_makespan_cycles Phase makespan in cycles.
+# TYPE dpa_makespan_cycles gauge
+dpa_makespan_cycles 1234
+# TYPE dpa_peak_outstanding_threads gauge
+dpa_peak_outstanding_threads 9
+`
+
+const wantJSON = `{"metrics":[
+{"name":"dpa_cycles_total","type":"counter","help":"Cycles charged per category.","samples":[{"labels":{"category":"compute"},"value":105},{"labels":{"category":"idle"},"value":40}]},
+{"name":"dpa_makespan_cycles","type":"gauge","help":"Phase makespan in cycles.","samples":[{"labels":{},"value":1234}]},
+{"name":"dpa_peak_outstanding_threads","type":"gauge","help":"","samples":[{"labels":{},"value":9}]}
+]}
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := testRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != wantProm {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", b.String(), wantProm)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := testRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != wantJSON {
+		t.Fatalf("json output:\n%s\nwant:\n%s", b.String(), wantJSON)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatal("metrics JSON is not valid JSON")
+	}
+}
+
+func TestRegistryReuseAndTypeClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	if b := r.Counter("x_total", ""); a != b {
+		t.Fatal("re-registering a counter returned a new metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter/gauge name clash")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestValidMetricName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"dpa_cycles_total": true,
+		"a:b_c9":           true,
+		"":                 false,
+		"9start":           false,
+		"has-dash":         false,
+		"__reserved":       false,
+	} {
+		if got := validMetricName(name); got != want {
+			t.Errorf("validMetricName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

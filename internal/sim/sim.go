@@ -461,11 +461,7 @@ func (p *Proc) WaitMessage() []Message {
 			// process needs to run before it arrives (sequential), or it is
 			// strictly inside the epoch frontier (parallel), just advance.
 			if at < p.horizon || (!p.strict && at == p.horizon) {
-				p.charges[p.idleCat] += at - p.clock
-				if p.onCharge != nil {
-					p.onCharge(p.idleCat, p.clock, at)
-				}
-				p.clock = at
+				p.advanceIdle(at)
 				return p.drain()
 			}
 		}
@@ -508,11 +504,7 @@ func (p *Proc) WaitMessageUntil(deadline Time) []Message {
 		// cannot reorder anything). A timeout target equal to the horizon
 		// must yield instead — another process may still run at that time.
 		if target < p.horizon || (!p.strict && ok && at == p.horizon && at <= target) {
-			p.charges[p.idleCat] += target - p.clock
-			if p.onCharge != nil {
-				p.onCharge(p.idleCat, p.clock, target)
-			}
-			p.clock = target
+			p.advanceIdle(target)
 			if target == at {
 				return p.drain()
 			}
@@ -586,13 +578,23 @@ func (p *Proc) effectiveWake() Time {
 // catchUp advances a parked process's clock to its wake time, charging the
 // gap as Idle (a blocked process woken by a message arrival).
 func (p *Proc) catchUp() {
-	if p.wake > p.clock {
-		p.charges[p.idleCat] += p.wake - p.clock
-		if p.onCharge != nil {
-			p.onCharge(p.idleCat, p.clock, p.wake)
-		}
-		p.clock = p.wake
+	p.advanceIdle(p.wake)
+}
+
+// advanceIdle is the single path for idle clock advances: it moves the clock
+// forward to `to`, charging the gap to the process's idle category and
+// reporting it to the charge hook. Keeping every idle advance on this one
+// path guarantees observers see the complete idle record regardless of which
+// wait primitive (or engine) produced it.
+func (p *Proc) advanceIdle(to Time) {
+	if to <= p.clock {
+		return
 	}
+	p.charges[p.idleCat] += to - p.clock
+	if p.onCharge != nil {
+		p.onCharge(p.idleCat, p.clock, to)
+	}
+	p.clock = to
 }
 
 // runOutcome is an engine's termination signal, sent to Run by whichever

@@ -200,8 +200,9 @@ type Run struct {
 	// faults). Deterministic for a given seed, like every other field.
 	Err error
 	// Timeline is the activity trace when the machine config enabled it
-	// (Config.TraceBins > 0). When phases are merged, the latest phase's
-	// timeline is kept.
+	// (Config.TraceBins > 0). When phases are merged, their timelines are
+	// concatenated: each phase's bins are shifted by the makespan of the
+	// phases before it, so the merged timeline covers the whole run.
 	Timeline *machine.Timeline
 }
 
@@ -231,6 +232,9 @@ func Collect(m *machine.Machine, makespan sim.Time) Run {
 // Merge accumulates another phase into r: makespans add (phases run back to
 // back), node breakdowns add elementwise, runtime counters merge.
 func (r *Run) Merge(o Run) {
+	// The offset for o's timeline is the run length before o — captured
+	// before the makespans are added.
+	timelineOff := r.Makespan
 	r.Makespan += o.Makespan
 	if r.Nodes == nil {
 		r.Nodes = make([]Breakdown, len(o.Nodes))
@@ -252,7 +256,12 @@ func (r *Run) Merge(o Run) {
 	r.Faults.Add(o.Faults)
 	r.Err = joinErrs(r.Err, o.Err)
 	if o.Timeline != nil {
-		r.Timeline = o.Timeline
+		if r.Timeline == nil {
+			r.Timeline = &machine.Timeline{BinWidth: o.Timeline.BinWidth}
+		}
+		// Concatenate rather than replace: earlier phases' activity used to
+		// be silently dropped here, leaving only the last phase's trace.
+		r.Timeline.AppendShifted(o.Timeline, timelineOff)
 	}
 }
 

@@ -1,10 +1,13 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"dpa/internal/machine"
+	"dpa/internal/obs"
 	"dpa/internal/sim"
 )
 
@@ -55,6 +58,91 @@ func TestMergeIntoEmpty(t *testing.T) {
 	a.Merge(b)
 	if a.Makespan != 10 || len(a.Nodes) != 3 {
 		t.Fatalf("merge into empty: %+v", a)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	r := Run{Makespan: 1234, Nodes: make([]Breakdown, 2)}
+	r.Nodes[0].Cycles[sim.Compute] = 100
+	r.Nodes[1].Cycles[sim.Compute] = 50
+	r.Nodes[0].MsgsSent = 3
+	r.RT.ThreadsRun = 42
+	r.Faults.Dropped = 2
+
+	var b bytes.Buffer
+	if err := r.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{
+		"dpa_makespan_cycles 1234",
+		`dpa_cycles_total{category="compute"} 150`,
+		"dpa_msgs_sent_total 3",
+		"dpa_threads_run_total 42",
+		`dpa_faults_injected_total{kind="drop"} 2`,
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("prometheus output missing %q:\n%s", w, out)
+		}
+	}
+
+	var j bytes.Buffer
+	if err := r.Metrics().WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(j.Bytes()) {
+		t.Fatalf("metrics JSON invalid:\n%s", j.String())
+	}
+
+	// Phase labels let several phases share one registry.
+	reg := obs.NewRegistry()
+	r.MetricsInto(reg, "p1")
+	var pb bytes.Buffer
+	if err := reg.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pb.String(), `dpa_makespan_cycles{phase="p1"} 1234`) {
+		t.Errorf("phase label missing:\n%s", pb.String())
+	}
+}
+
+func TestMergeConcatenatesTimelines(t *testing.T) {
+	tlOf := func(cat sim.Category, cycles sim.Time) *machine.Timeline {
+		tl := &machine.Timeline{
+			BinWidth: 10,
+			Bins:     make([][][sim.NumCategories]sim.Time, 1),
+		}
+		var b [sim.NumCategories]sim.Time
+		b[cat] = cycles
+		tl.Bins[0] = append(tl.Bins[0], b)
+		return tl
+	}
+	p1 := Run{Makespan: 100, Nodes: make([]Breakdown, 1), Timeline: tlOf(sim.Compute, 10)}
+	p2 := Run{Makespan: 50, Nodes: make([]Breakdown, 1), Timeline: tlOf(sim.Idle, 7)}
+
+	var total Run
+	total.Merge(p1)
+	total.Merge(p2)
+
+	tl := total.Timeline
+	if tl == nil {
+		t.Fatal("merged run lost its timeline")
+	}
+	// Phase 1's bin stays at t=0; phase 2's lands offset by phase 1's
+	// makespan (bin 100/10 = 10). Before the fix, Merge kept only the
+	// latest phase's timeline, so phase 1's activity vanished.
+	if got := tl.Bins[0][0][sim.Compute]; got != 10 {
+		t.Errorf("phase-1 bin = %d, want 10 (earlier phase dropped?)", got)
+	}
+	if len(tl.Bins[0]) != 11 {
+		t.Fatalf("merged bins = %d, want 11", len(tl.Bins[0]))
+	}
+	if got := tl.Bins[0][10][sim.Idle]; got != 7 {
+		t.Errorf("phase-2 bin = %d, want 7 at offset 10", got)
+	}
+	// The phase runs' own timelines must be untouched.
+	if len(p1.Timeline.Bins[0]) != 1 || len(p2.Timeline.Bins[0]) != 1 {
+		t.Error("merge mutated a source timeline")
 	}
 }
 
