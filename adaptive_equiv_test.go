@@ -21,23 +21,24 @@ func adaptiveRuns(t *testing.T, name string, faults bool, run func(MachineConfig
 	t.Helper()
 	var ref RunStats
 	var refName string
-	for _, kind := range []EngineKind{Sequential, Parallel} {
+	for _, eng := range equivEngines(4) {
 		for rep := 0; rep < 2; rep++ {
 			mcfg := DefaultT3D(4)
-			mcfg.Engine = kind
+			mcfg.Engine = eng.Kind()
+			mcfg.EngineTuning = eng.Tuning()
 			if faults {
 				mcfg.Faults = DefaultFaults(7, 0.05)
 			}
 			r := run(mcfg)
 			if r.Err != nil {
-				t.Fatalf("%s %v rep%d: unexpected degradation: %v", name, kind, rep, r.Err)
+				t.Fatalf("%s %v rep%d: unexpected degradation: %v", name, eng, rep, r.Err)
 			}
 			if refName == "" {
-				ref, refName = r, fmt.Sprintf("%v rep0", kind)
+				ref, refName = r, fmt.Sprintf("%v rep0", eng)
 				continue
 			}
 			if diff := ref.Diff(r); diff != "" {
-				t.Fatalf("%s: %v rep%d diverges from %s: %s", name, kind, rep, refName, diff)
+				t.Fatalf("%s: %v rep%d diverges from %s: %s", name, eng, rep, refName, diff)
 			}
 		}
 	}

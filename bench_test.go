@@ -14,7 +14,6 @@ import (
 	"dpa/internal/harness"
 	"dpa/internal/machine"
 	"dpa/internal/nbody"
-	"dpa/internal/sim"
 )
 
 // benchWorkload is the reduced problem size used by benchmarks.
@@ -53,19 +52,32 @@ func BenchmarkX2_QueueDiscipline(b *testing.B) { runExperiment(b, "X2") }
 func BenchmarkX3_CacheCapacity(b *testing.B)   { runExperiment(b, "X3") }
 func BenchmarkX4_SequentialCache(b *testing.B) { runExperiment(b, "X4") }
 
-// BenchmarkEngine compares host execution time of the two simulation
-// engines on the same workload: one Barnes-Hut step with 32 simulated nodes
-// under DPA(50). The results are bit-identical; only wall-clock differs. On
-// a multi-core host the parallel engine exploits the conservative lookahead
-// window to run simulated nodes concurrently; on a single core it measures
-// pure coordination overhead.
+// BenchmarkEngine compares host execution time of the simulation engines
+// on the same workload: one Barnes-Hut step with 32 simulated nodes under
+// DPA(50), sequentially and at a sweep of parallel worker counts. The
+// results are bit-identical; only wall-clock differs. On a multi-core host
+// the sharded parallel engine exploits the conservative lookahead window to
+// run simulated nodes concurrently; on a single core it measures pure
+// coordination overhead.
 func BenchmarkEngine(b *testing.B) {
 	w := nbody.Plummer(4096, 42)
-	for _, kind := range []sim.EngineKind{sim.Sequential, sim.Parallel} {
-		kind := kind
-		b.Run(kind.String(), func(b *testing.B) {
+	cases := []struct {
+		name string
+		eng  Engine
+	}{
+		{"sequential", Sequential()},
+		{"parallel", Parallel()},
+		{"parallel-w1", Parallel(Workers(1))},
+		{"parallel-w2", Parallel(Workers(2))},
+		{"parallel-w4", Parallel(Workers(4))},
+		{"parallel-w8", Parallel(Workers(8))},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
 			mcfg := machine.DefaultT3D(32)
-			mcfg.Engine = kind
+			mcfg.Engine = c.eng.Kind()
+			mcfg.EngineTuning = c.eng.Tuning()
 			for i := 0; i < b.N; i++ {
 				bh.RunSteps(mcfg, driver.DPASpec(50), w, 1, bh.DefaultParams())
 			}

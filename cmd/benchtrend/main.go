@@ -1,7 +1,9 @@
 // Command benchtrend prints the host-performance trajectory recorded by the
 // tracked BENCH_*.json baselines (emitted by `dpabench -json`). Each file is
-// one PR-era snapshot; benchtrend lines them up per benchmark and shows how
-// ns/op, B/op, and allocs/op moved from the first snapshot to the last.
+// one PR-era snapshot; benchtrend groups snapshots by workload (app, nodes,
+// bodies, runtime), lines them up per benchmark within each group, and shows
+// how ns/op, B/op, and allocs/op moved from the group's first snapshot —
+// deltas across different workloads would be meaningless.
 //
 // Usage:
 //
@@ -27,6 +29,17 @@ type report struct {
 	Benchmarks []stats.HostBench `json:"benchmarks"`
 }
 
+// workload identifies the simulated configuration a snapshot measured;
+// only snapshots with equal workloads are comparable.
+func (r report) workload() string {
+	return fmt.Sprintf("%s nodes=%d bodies=%d %s", r.App, r.Nodes, r.Bodies, r.Runtime)
+}
+
+type snapshot struct {
+	file string
+	report
+}
+
 func main() {
 	files := os.Args[1:]
 	if len(files) == 0 {
@@ -39,7 +52,10 @@ func main() {
 	}
 	sort.Strings(files)
 
-	var reports []report
+	// Group snapshots by workload, preserving file order within and across
+	// groups (a group is anchored where its workload first appears).
+	var order []string
+	groups := make(map[string][]snapshot)
 	for _, f := range files {
 		data, err := os.ReadFile(f)
 		if err != nil {
@@ -51,26 +67,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtrend: %s: %v\n", f, err)
 			os.Exit(1)
 		}
-		reports = append(reports, r)
+		key := r.workload()
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], snapshot{file: f, report: r})
 	}
 
-	first := reports[0]
-	fmt.Printf("host benchmark trajectory: %s nodes=%d bodies=%d %s (%d snapshots)\n",
-		first.App, first.Nodes, first.Bodies, first.Runtime, len(reports))
-	fmt.Printf("%-20s %-10s %12s %12s %10s %10s\n",
-		"benchmark", "snapshot", "ns/op", "B/op", "allocs/op", "vs first")
-	for _, b0 := range first.Benchmarks {
-		for i, r := range reports {
-			b := find(r.Benchmarks, b0.Name)
-			if b == nil {
-				continue
+	for gi, key := range order {
+		if gi > 0 {
+			fmt.Println()
+		}
+		snaps := groups[key]
+		fmt.Printf("host benchmark trajectory: %s (%d snapshots)\n", key, len(snaps))
+		fmt.Printf("%-20s %-12s %12s %12s %10s %10s\n",
+			"benchmark", "snapshot", "ns/op", "B/op", "allocs/op", "vs first")
+		first := snaps[0]
+		for _, b0 := range first.Benchmarks {
+			for i, s := range snaps {
+				b := find(s.Benchmarks, b0.Name)
+				if b == nil {
+					continue
+				}
+				delta := "-"
+				if i > 0 && b0.NsPerOp > 0 {
+					delta = fmt.Sprintf("%+.1f%%", (b.NsPerOp/b0.NsPerOp-1)*100)
+				}
+				fmt.Printf("%-20s %-12s %12.0f %12d %10d %10s\n",
+					b.Name, filepath.Base(s.file), b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, delta)
 			}
-			delta := "-"
-			if i > 0 && b0.NsPerOp > 0 {
-				delta = fmt.Sprintf("%+.1f%%", (b.NsPerOp/b0.NsPerOp-1)*100)
+		}
+		// Benchmarks that appear only in later snapshots (e.g. a worker
+		// sweep added after the group's first baseline) still get rows.
+		for _, s := range snaps[1:] {
+			for _, b := range s.Benchmarks {
+				if find(first.Benchmarks, b.Name) == nil {
+					fmt.Printf("%-20s %-12s %12.0f %12d %10d %10s\n",
+						b.Name, filepath.Base(s.file), b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, "-")
+				}
 			}
-			fmt.Printf("%-20s %-10s %12.0f %12d %10d %10s\n",
-				b.Name, filepath.Base(files[i]), b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, delta)
 		}
 	}
 }

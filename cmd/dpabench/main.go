@@ -5,8 +5,16 @@
 // Usage:
 //
 //	dpabench -app bh|fmm|em3d -nodes 16 -runtime dpa|caching|blocking \
-//	         -engine sequential|parallel \
+//	         -engine sequential|parallel [-workers 8] [-nosteal] [-la-override 0] \
 //	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29]
+//
+// The parallel engine is tuned with -workers (host workers, 0 = one per
+// core capped at the node count), -nosteal (pin each shard to its owner),
+// and -la-override (narrow the conservative window below the machine's
+// minimum message delay). None of these change results — simulated clocks,
+// counters, traces, and metrics stay bit-identical to sequential — so the
+// host scheduler summary (workers/windows/steals) goes to stderr, keeping
+// stdout diffable across engines.
 //
 // Deterministic fault injection is enabled with -faults (or any nonzero
 // fault rate): -drop-rate and -dup-rate lose and duplicate messages (the
@@ -25,7 +33,9 @@
 // With -json, dpabench instead measures the host performance of the
 // simulator itself: it benchmarks the configured run under both engines
 // (testing.Benchmark) and emits the measurements as JSON — the format of
-// the tracked baseline BENCH_1.json at the repository root.
+// the tracked baselines BENCH_*.json at the repository root. Adding
+// -workers-sweep 1,2,4,8 benchmarks the parallel engine once per listed
+// worker count (rows named Engine/parallel-w<N>) alongside sequential.
 package main
 
 import (
@@ -56,6 +66,10 @@ func main() {
 	nodes := flag.Int("nodes", 16, "simulated node count")
 	rtName := flag.String("runtime", "dpa", "runtime: dpa, caching, or blocking")
 	engine := flag.String("engine", "sequential", "simulation engine: sequential or parallel")
+	workers := flag.Int("workers", 0, "parallel engine: host worker count (0 = one per core, capped at nodes)")
+	noSteal := flag.Bool("nosteal", false, "parallel engine: disable cross-shard work stealing")
+	laOverride := flag.Int64("la-override", 0, "parallel engine: narrow the conservative lookahead window to this many cycles (0 = machine minimum delay)")
+	workersSweep := flag.String("workers-sweep", "", "with -json: comma-separated worker counts to benchmark the parallel engine at")
 	bodies := flag.Int("bodies", 16384, "body count")
 	steps := flag.Int("steps", 1, "Barnes-Hut steps")
 	terms := flag.Int("terms", 29, "FMM expansion terms")
@@ -131,6 +145,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dpabench: unknown engine %q\n", *engine)
 		os.Exit(1)
 	}
+	mcfg.EngineTuning = sim.Tuning{Workers: *workers, Lookahead: sim.Time(*laOverride)}
+	if *noSteal {
+		mcfg.EngineTuning.Steal = sim.StealOff
+	}
+	if err := mcfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+		os.Exit(1)
+	}
 	if *trace {
 		mcfg.TraceBins = sim.Time(*traceBins) // default ~0.3 ms bins at 150 MHz; Gantt re-bins to fit
 	}
@@ -189,13 +211,18 @@ func main() {
 		return
 	}
 	if *jsonOut {
-		emitHostBench(mcfg, runOnce, *app, *nodes, *bodies, *steps, spec)
+		emitHostBench(mcfg, runOnce, *app, *nodes, *bodies, *steps, spec, *workersSweep)
 		return
 	}
 	run := runOnce(mcfg)
 
 	fmt.Printf("app=%s nodes=%d runtime=%s engine=%s\n", *app, *nodes, spec, mcfg.Engine)
 	fmt.Print(run.Table(mcfg.ClockHz))
+	if run.Host != nil {
+		// Host-scheduler counters depend on host timing, so they go to
+		// stderr: stdout must stay bit-identical across engines.
+		fmt.Fprintf(os.Stderr, "host sched: %s\n", run.Host)
+	}
 	if *trace && run.Timeline != nil {
 		fmt.Printf("\nactivity timeline (#=local +=comm .=idle), one row per node:\n")
 		for i, row := range run.Timeline.Gantt(100) {
@@ -295,8 +322,10 @@ type hostBenchReport struct {
 }
 
 // emitHostBench benchmarks the configured run under both engines with
-// testing.Benchmark and writes the measurements as JSON to stdout.
-func emitHostBench(mcfg machine.Config, runOnce func(machine.Config) stats.Run, app string, nodes, bodies, steps int, spec driver.Spec) {
+// testing.Benchmark and writes the measurements as JSON to stdout. A
+// non-empty workersSweep benchmarks the parallel engine once per listed
+// worker count instead of once at the default.
+func emitHostBench(mcfg machine.Config, runOnce func(machine.Config) stats.Run, app string, nodes, bodies, steps int, spec driver.Spec, workersSweep string) {
 	report := hostBenchReport{
 		App:       app,
 		Nodes:     nodes,
@@ -305,9 +334,34 @@ func emitHostBench(mcfg machine.Config, runOnce func(machine.Config) stats.Run, 
 		Runtime:   fmt.Sprint(spec),
 		GoVersion: runtime.Version(),
 	}
-	for _, kind := range []sim.EngineKind{sim.Sequential, sim.Parallel} {
+	type benchCase struct {
+		name   string
+		engine sim.EngineKind
+		tuning sim.Tuning
+	}
+	cases := []benchCase{{"Engine/sequential", sim.Sequential, sim.Tuning{}}}
+	if workersSweep == "" {
+		cases = append(cases, benchCase{"Engine/parallel", sim.Parallel, mcfg.EngineTuning})
+	} else {
+		for _, f := range strings.Split(workersSweep, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "dpabench: bad worker count %q in -workers-sweep\n", f)
+				os.Exit(1)
+			}
+			tn := mcfg.EngineTuning
+			tn.Workers = w
+			cases = append(cases, benchCase{fmt.Sprintf("Engine/parallel-w%d", w), sim.Parallel, tn})
+		}
+	}
+	for _, c := range cases {
 		cfg := mcfg
-		cfg.Engine = kind
+		cfg.Engine = c.engine
+		cfg.EngineTuning = c.tuning
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpabench: %s: %v\n", c.name, err)
+			os.Exit(1)
+		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -315,7 +369,7 @@ func emitHostBench(mcfg machine.Config, runOnce func(machine.Config) stats.Run, 
 			}
 		})
 		report.Benchmarks = append(report.Benchmarks, stats.HostBench{
-			Name:        "Engine/" + kind.String(),
+			Name:        c.name,
 			Iters:       r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),

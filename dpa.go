@@ -54,18 +54,59 @@ type (
 	Endpoint = fm.EP
 	// Time is a duration or instant in simulated cycles.
 	Time = sim.Time
-	// EngineKind selects the simulation engine (Sequential or Parallel).
+	// EngineKind is the legacy enum naming a simulation engine
+	// (SequentialKind or ParallelKind). New code should use the first-class
+	// Engine values built by Sequential() and Parallel(...) instead.
 	EngineKind = sim.EngineKind
+	// Engine is a first-class engine selection: which simulation engine
+	// drives a phase plus its host-performance tuning. Build one with
+	// Sequential or Parallel and pass it to RunPhase via WithEngineValue.
+	// Every Engine produces bit-identical simulation results.
+	Engine = driver.Engine
+	// EngineOption tunes an Engine built by Parallel (Workers, Lookahead,
+	// Stealing).
+	EngineOption = driver.EngineOption
 )
 
-// The two simulation engines. Sequential (the zero value) interleaves
-// simulated nodes on one goroutine in virtual-time order; Parallel runs them
-// on real goroutines under a conservative lookahead window. Both produce
-// bit-identical results.
+// The legacy engine-kind constants.
+//
+// Deprecated: use the Sequential() and Parallel(...) constructors, which
+// return first-class Engine values carrying per-engine tuning.
 const (
-	Sequential = sim.Sequential
-	Parallel   = sim.Parallel
+	SequentialKind = sim.Sequential
+	ParallelKind   = sim.Parallel
 )
+
+// Sequential returns the sequential engine: one simulated node at a time, in
+// deterministic virtual-time order. This is the default engine and the
+// baseline every other engine must match bit for bit.
+func Sequential() Engine { return driver.Sequential() }
+
+// Parallel returns the sharded work-stealing parallel engine. Simulated
+// nodes are partitioned across worker shards and run truly in parallel
+// within conservative lookahead windows; results stay bit-identical to
+// Sequential. Tune it with Workers, Lookahead, and Stealing:
+//
+//	dpa.RunPhase(cfg, space, spec, body,
+//	    dpa.WithEngineValue(dpa.Parallel(dpa.Workers(8), dpa.Stealing(true))))
+func Parallel(opts ...EngineOption) Engine { return driver.Parallel(opts...) }
+
+// Workers sets the parallel engine's worker count: 0 (the default) means
+// min(GOMAXPROCS, nodes); explicit values must be in [1, nodes].
+func Workers(n int) EngineOption { return driver.Workers(n) }
+
+// Lookahead overrides the parallel engine's conservative window width in
+// cycles. It must be positive and no larger than the machine's minimum
+// cross-node message delay (the default and the widest safe window).
+func Lookahead(t Time) EngineOption { return driver.Lookahead(t) }
+
+// Stealing enables or disables cross-shard work stealing (default on).
+// Stealing only moves host work between workers; it never affects results.
+func Stealing(on bool) EngineOption { return driver.Stealing(on) }
+
+// ErrBadEngine is the sentinel matched by errors.Is for rejected engine
+// tuning (worker count out of [1, nodes], bad lookahead override).
+var ErrBadEngine = sim.ErrBadTuning
 
 // Runtime selection types.
 type (
@@ -187,7 +228,16 @@ func BlockingSpec(opts ...SpecOption) Spec { return driver.BlockingSpec(opts...)
 // RunOption adjusts how RunPhase executes a phase.
 type RunOption = driver.RunOption
 
-// WithEngine selects the simulation engine (Sequential or Parallel).
+// WithEngineValue selects the engine driving the phase as a first-class
+// value: dpa.Sequential() or dpa.Parallel(opts...). This is the primary
+// engine-selection option.
+func WithEngineValue(e Engine) RunOption { return driver.WithEngineValue(e) }
+
+// WithEngine selects the simulation engine by legacy kind (SequentialKind or
+// ParallelKind) with default tuning.
+//
+// Deprecated: use WithEngineValue with Sequential() or Parallel(...), which
+// carries per-engine tuning (worker count, lookahead, stealing).
 func WithEngine(kind EngineKind) RunOption { return driver.WithEngine(kind) }
 
 // WithTrace enables activity-timeline recording with the given bin width in

@@ -7,6 +7,7 @@ package dpa
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dpa/internal/em3d"
@@ -17,6 +18,26 @@ import (
 // equivSpecs are the runtime schemes the engines are compared under.
 func equivSpecs() []Spec {
 	return []Spec{DPASpec(8), CachingSpec(), BlockingSpec()}
+}
+
+// equivEngines returns the engine configurations every equivalence suite
+// sweeps: the sequential baseline first, then the parallel engine at worker
+// counts 1, 2, NumCPU, and nodes (one simulated process per node),
+// deduplicated after clamping to [1, nodes]. Index 0 is always the baseline.
+func equivEngines(nodes int) []Engine {
+	engines := []Engine{Sequential()}
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, runtime.NumCPU(), nodes} {
+		if w > nodes {
+			w = nodes
+		}
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		engines = append(engines, Parallel(Workers(w)))
+	}
+	return engines
 }
 
 // treesumProgram is the recursive tree-sum pointer program from
@@ -74,23 +95,24 @@ func TestEngineEquivalenceTreesum(t *testing.T) {
 	for _, spec := range equivSpecs() {
 		spec := spec
 		t.Run(spec.String(), func(t *testing.T) {
-			var runs [2]RunStats
-			var sums [2]pdg.Value
-			for i, kind := range []EngineKind{Sequential, Parallel} {
+			engines := equivEngines(nodes)
+			runs := make([]RunStats, len(engines))
+			for i, eng := range engines {
 				res := pdg.NewResult()
 				runs[i] = RunPhase(DefaultT3D(nodes), space, spec,
 					func(rt Runtime, ep *Endpoint, nd *Node) {
 						if nd.ID() == 0 {
 							tpart.Run(compiled, rt, nd, res, root)
 						}
-					}, WithEngine(kind))
-				sums[i] = res.Acc["sum"]
+					}, WithEngineValue(eng))
+				if res.Acc["sum"] != want.Acc["sum"] {
+					t.Fatalf("%v: sum %v, want %v", eng, res.Acc["sum"], want.Acc["sum"])
+				}
 			}
-			if sums[0] != want.Acc["sum"] || sums[1] != want.Acc["sum"] {
-				t.Fatalf("sums %v/%v, want %v", sums[0], sums[1], want.Acc["sum"])
-			}
-			if diff := runs[0].Diff(runs[1]); diff != "" {
-				t.Fatalf("sequential vs parallel stats diverge: %s", diff)
+			for i := 1; i < len(engines); i++ {
+				if diff := runs[0].Diff(runs[i]); diff != "" {
+					t.Fatalf("sequential vs %v stats diverge: %s", engines[i], diff)
+				}
 			}
 		})
 	}
@@ -103,21 +125,25 @@ func TestEngineEquivalenceEM3D(t *testing.T) {
 	for _, spec := range equivSpecs() {
 		spec := spec
 		t.Run(spec.String(), func(t *testing.T) {
-			var runs [2]RunStats
-			var vals [2]string
-			for i, kind := range []EngineKind{Sequential, Parallel} {
+			engines := equivEngines(nodes)
+			runs := make([]RunStats, len(engines))
+			vals := make([]string, len(engines))
+			for i, eng := range engines {
 				mcfg := DefaultT3D(nodes)
-				mcfg.Engine = kind
+				mcfg.Engine = eng.Kind()
+				mcfg.EngineTuning = eng.Tuning()
 				run, g := em3d.RunIters(mcfg, spec, prm, iters)
 				runs[i] = run
 				e, h := g.Values()
 				vals[i] = fmt.Sprintf("%x %x", e, h)
 			}
-			if vals[0] != vals[1] {
-				t.Fatal("graph values diverge between engines")
-			}
-			if diff := runs[0].Diff(runs[1]); diff != "" {
-				t.Fatalf("sequential vs parallel stats diverge: %s", diff)
+			for i := 1; i < len(engines); i++ {
+				if vals[i] != vals[0] {
+					t.Fatalf("graph values diverge between sequential and %v", engines[i])
+				}
+				if diff := runs[0].Diff(runs[i]); diff != "" {
+					t.Fatalf("sequential vs %v stats diverge: %s", engines[i], diff)
+				}
 			}
 		})
 	}

@@ -63,14 +63,14 @@ func TestFaultEquivalenceTreesum(t *testing.T) {
 		t.Run(spec.String(), func(t *testing.T) {
 			var runs [2]RunStats
 			var sums [2]pdg.Value
-			for i, kind := range []EngineKind{Sequential, Parallel} {
+			for i, eng := range []Engine{Sequential(), Parallel()} {
 				res := pdg.NewResult()
 				runs[i] = RunPhase(DefaultT3D(nodes), space, spec,
 					func(rt Runtime, ep *Endpoint, nd *Node) {
 						if nd.ID() == 0 {
 							tpart.Run(compiled, rt, nd, res, root)
 						}
-					}, WithEngine(kind), WithFaults(fc))
+					}, WithEngineValue(eng), WithFaults(fc))
 				sums[i] = res.Acc["sum"]
 			}
 			for i := range runs {
@@ -112,9 +112,10 @@ func TestFaultEquivalenceEM3D(t *testing.T) {
 
 	var runs [2]RunStats
 	var faultyVals [2]string
-	for i, kind := range []EngineKind{Sequential, Parallel} {
+	for i, eng := range []Engine{Sequential(), Parallel()} {
 		mcfg := DefaultT3D(nodes)
-		mcfg.Engine = kind
+		mcfg.Engine = eng.Kind()
+		mcfg.EngineTuning = eng.Tuning()
 		mcfg.Faults = DefaultFaults(11, 0.05)
 		run, g := em3d.RunIters(mcfg, spec, prm, iters)
 		runs[i] = run
@@ -123,11 +124,11 @@ func TestFaultEquivalenceEM3D(t *testing.T) {
 		for j := range e {
 			if !closeEnough(e[j], eref[j]) || !closeEnough(h[j], href[j]) {
 				t.Fatalf("%v: value %d diverges from fault-free reference: E %v vs %v, H %v vs %v",
-					kind, j, e[j], eref[j], h[j], href[j])
+					eng, j, e[j], eref[j], h[j], href[j])
 			}
 		}
 		if run.Err != nil {
-			t.Errorf("%v: unexpected degradation: %v", kind, run.Err)
+			t.Errorf("%v: unexpected degradation: %v", eng, run.Err)
 		}
 	}
 	if faultyVals[0] != faultyVals[1] {
@@ -149,13 +150,14 @@ func TestFaultEquivalenceBarnesHut(t *testing.T) {
 	p := bh.DefaultParams()
 
 	var runs [2]RunStats
-	for i, kind := range []EngineKind{Sequential, Parallel} {
+	for i, eng := range []Engine{Sequential(), Parallel()} {
 		mcfg := DefaultT3D(nodes)
-		mcfg.Engine = kind
+		mcfg.Engine = eng.Kind()
+		mcfg.EngineTuning = eng.Tuning()
 		mcfg.Faults = DefaultFaults(13, 0.05)
 		runs[i] = bh.RunSteps(mcfg, DPASpec(16), bodies, 1, p)
 		if runs[i].Err != nil {
-			t.Errorf("%v: unexpected degradation: %v", kind, runs[i].Err)
+			t.Errorf("%v: unexpected degradation: %v", eng, runs[i].Err)
 		}
 	}
 	if diff := runs[0].Diff(runs[1]); diff != "" {
@@ -163,6 +165,40 @@ func TestFaultEquivalenceBarnesHut(t *testing.T) {
 	}
 	if runs[0].Faults.Dropped == 0 || runs[0].Faults.Retransmits == 0 {
 		t.Errorf("fault counters inactive: %+v", runs[0].Faults)
+	}
+}
+
+// TestStealDeterminismUnderFaults is the steal-path determinism check: a
+// faulty Barnes-Hut force phase must produce bit-identical run tables under
+// the sequential engine and under the parallel engine at two workers with
+// stealing on, stealing off, and at one worker per node — steal decisions
+// (and worker count) move host work only, never virtual-time results, even
+// when the fault schedule is exercising retransmission paths.
+func TestStealDeterminismUnderFaults(t *testing.T) {
+	const nodes = 4
+	bodies := nbody.Plummer(256, 42)
+	p := bh.DefaultParams()
+	engines := []Engine{
+		Sequential(),
+		Parallel(Workers(2), Stealing(true)),
+		Parallel(Workers(2), Stealing(false)),
+		Parallel(Workers(nodes), Stealing(true)),
+	}
+	runs := make([]RunStats, len(engines))
+	for i, eng := range engines {
+		mcfg := DefaultT3D(nodes)
+		mcfg.Engine = eng.Kind()
+		mcfg.EngineTuning = eng.Tuning()
+		mcfg.Faults = DefaultFaults(13, 0.05)
+		runs[i] = bh.RunSteps(mcfg, DPASpec(16), bodies, 1, p)
+		if runs[i].Err != nil {
+			t.Errorf("%v: unexpected degradation: %v", eng, runs[i].Err)
+		}
+	}
+	for i := 1; i < len(engines); i++ {
+		if diff := runs[0].Diff(runs[i]); diff != "" {
+			t.Fatalf("sequential vs %v faulty runs diverge: %s", engines[i], diff)
+		}
 	}
 }
 
@@ -177,14 +213,15 @@ func TestFaultJitterDeterminism(t *testing.T) {
 	}}
 
 	var runs [2]RunStats
-	for i, kind := range []EngineKind{Sequential, Parallel} {
+	for i, eng := range []Engine{Sequential(), Parallel()} {
 		mcfg := DefaultT3D(nodes)
-		mcfg.Engine = kind
+		mcfg.Engine = eng.Kind()
+		mcfg.EngineTuning = eng.Tuning()
 		mcfg.Faults = fc
 		run, _ := em3d.RunIters(mcfg, DPASpec(8), prm, 1)
 		runs[i] = run
 		if run.Err != nil {
-			t.Errorf("%v: unexpected degradation: %v", kind, run.Err)
+			t.Errorf("%v: unexpected degradation: %v", eng, run.Err)
 		}
 	}
 	if diff := runs[0].Diff(runs[1]); diff != "" {
@@ -216,19 +253,19 @@ func TestExhaustedRetriesTypedError(t *testing.T) {
 		spec := spec
 		t.Run(spec.String(), func(t *testing.T) {
 			var runs [2]RunStats
-			for i, kind := range []EngineKind{Sequential, Parallel} {
+			for i, eng := range []Engine{Sequential(), Parallel()} {
 				runs[i] = RunPhase(DefaultT3D(nodes), space, spec,
 					func(rt Runtime, ep *Endpoint, nd *Node) {
 						for _, p := range ptrs {
 							rt.Spawn(p, func(o Object) {})
 						}
 						rt.Drain()
-					}, WithEngine(kind), WithFaults(fc))
+					}, WithEngineValue(eng), WithFaults(fc))
 				if runs[i].Err == nil {
-					t.Fatalf("%v: expected degradation error at 100%% loss", kind)
+					t.Fatalf("%v: expected degradation error at 100%% loss", eng)
 				}
 				if !errors.Is(runs[i].Err, ErrUnreachable) {
-					t.Fatalf("%v: error %v does not wrap ErrUnreachable", kind, runs[i].Err)
+					t.Fatalf("%v: error %v does not wrap ErrUnreachable", eng, runs[i].Err)
 				}
 			}
 			if diff := runs[0].Diff(runs[1]); diff != "" {

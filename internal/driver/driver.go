@@ -203,12 +203,95 @@ func (p *Protos) NewRuntime(spec Spec, ep *fm.EP, space *gptr.Space) (Runtime, e
 	panic("driver: unreachable kind " + string(spec.Kind)) // Validate rejected it
 }
 
+// Engine is a first-class engine selection: which simulation engine drives a
+// phase, plus the parallel engine's host-performance tuning. Build one with
+// Sequential or Parallel and pass it to RunPhase via WithEngineValue. The
+// zero value is the sequential engine.
+//
+// Every Engine produces bit-identical simulation results; the knobs carried
+// here (worker count, lookahead override, steal policy) affect only host
+// execution speed.
+type Engine struct {
+	kind   sim.EngineKind
+	tuning sim.Tuning
+}
+
+// EngineOption tunes an Engine built by Parallel.
+type EngineOption func(*Engine)
+
+// Sequential returns the sequential engine: one simulated node runs at a
+// time, in deterministic (wake, id) order. The baseline every other engine
+// must match bit for bit.
+func Sequential() Engine { return Engine{kind: sim.Sequential} }
+
+// Parallel returns the sharded work-stealing parallel engine with the given
+// tuning options. Defaults: worker count = min(GOMAXPROCS, nodes), lookahead
+// from the machine's minimum message delay, stealing on.
+func Parallel(opts ...EngineOption) Engine {
+	e := Engine{kind: sim.Parallel}
+	for _, o := range opts {
+		o(&e)
+	}
+	return e
+}
+
+// Workers sets the parallel engine's worker-shard count. 0 means auto
+// (min(GOMAXPROCS, nodes)); explicit values must be in [1, nodes] — out of
+// range is rejected by config validation with a *sim.TuningError.
+func Workers(n int) EngineOption { return func(e *Engine) { e.tuning.Workers = n } }
+
+// Lookahead overrides the conservative window width in cycles. It must be
+// positive and no larger than the machine's minimum cross-node message delay
+// (the default); narrower windows are safe but synchronize more often.
+func Lookahead(t sim.Time) EngineOption { return func(e *Engine) { e.tuning.Lookahead = t } }
+
+// Stealing enables or disables cross-shard work stealing (default on).
+// Stealing moves host work between workers mid-window; it never affects
+// virtual-time results.
+func Stealing(on bool) EngineOption {
+	return func(e *Engine) {
+		if on {
+			e.tuning.Steal = sim.StealOn
+		} else {
+			e.tuning.Steal = sim.StealOff
+		}
+	}
+}
+
+// Kind returns the underlying engine kind.
+func (e Engine) Kind() sim.EngineKind { return e.kind }
+
+// Tuning returns the engine's host-performance tuning.
+func (e Engine) Tuning() sim.Tuning { return e.tuning }
+
+// Validate checks the engine selection against a node count (see
+// sim.Tuning.Validate); pass nodes <= 0 when the count is not yet known.
+func (e Engine) Validate(nodes int) error {
+	if e.kind == sim.Sequential {
+		return nil
+	}
+	return e.tuning.Validate(nodes)
+}
+
+// String names the engine for table rows, e.g. "parallel(workers=4)".
+func (e Engine) String() string {
+	if e.kind == sim.Sequential {
+		return "sequential"
+	}
+	s := "parallel"
+	if e.tuning.Workers > 0 {
+		s += fmt.Sprintf("(workers=%d)", e.tuning.Workers)
+	}
+	return s
+}
+
 // RunOption adjusts how RunPhase executes a phase (engine choice, tracing,
 // cross-engine validation) without widening its signature.
 type RunOption func(*runConfig)
 
 type runConfig struct {
 	engine    sim.EngineKind
+	tuning    sim.Tuning
 	engineSet bool
 	traceBins sim.Time
 	obs       *obs.Tracer
@@ -217,11 +300,24 @@ type runConfig struct {
 	faultsSet bool
 }
 
-// WithEngine selects the simulation engine: sim.Sequential (the default) or
-// sim.Parallel, which runs simulated nodes on real goroutines under a
-// conservative lookahead window and produces bit-identical statistics.
+// WithEngineValue selects the engine driving the phase as a first-class
+// value built by Sequential or Parallel. This is the primary engine-selection
+// option; WithEngine is the deprecated enum form.
+func WithEngineValue(e Engine) RunOption {
+	return func(rc *runConfig) {
+		rc.engine = e.kind
+		rc.tuning = e.tuning
+		rc.engineSet = true
+	}
+}
+
+// WithEngine selects the simulation engine by kind: sim.Sequential (the
+// default) or sim.Parallel with default tuning.
+//
+// Deprecated: use WithEngineValue with Sequential() or Parallel(...), which
+// carries per-engine tuning (worker count, lookahead, stealing).
 func WithEngine(kind sim.EngineKind) RunOption {
-	return func(rc *runConfig) { rc.engine = kind; rc.engineSet = true }
+	return func(rc *runConfig) { rc.engine = kind; rc.tuning = sim.Tuning{}; rc.engineSet = true }
 }
 
 // WithTrace enables activity-timeline recording with the given bin width in
@@ -271,6 +367,7 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 	}
 	if rc.engineSet {
 		mcfg.Engine = rc.engine
+		mcfg.EngineTuning = rc.tuning
 	}
 	if rc.traceBins > 0 {
 		mcfg.TraceBins = rc.traceBins

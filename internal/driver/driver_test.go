@@ -1,11 +1,14 @@
 package driver
 
 import (
+	"errors"
 	"testing"
 
 	"dpa/internal/fm"
 	"dpa/internal/gptr"
 	"dpa/internal/machine"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
 )
 
 type thing struct{ id int }
@@ -102,6 +105,92 @@ func TestRunPhaseMergesAllNodes(t *testing.T) {
 	if len(run.Nodes) != nodes {
 		t.Fatalf("breakdowns for %d nodes", len(run.Nodes))
 	}
+}
+
+// TestEngineValues covers the first-class Engine API: constructors, option
+// folding, validation, and naming.
+func TestEngineValues(t *testing.T) {
+	if e := Sequential(); e.Kind() != sim.Sequential || e.String() != "sequential" {
+		t.Fatalf("Sequential() = %v (%s)", e.Kind(), e)
+	}
+	e := Parallel(Workers(4), Lookahead(100), Stealing(false))
+	if e.Kind() != sim.Parallel {
+		t.Fatal("Parallel() kind")
+	}
+	tn := e.Tuning()
+	if tn.Workers != 4 || tn.Lookahead != 100 || tn.Steal != sim.StealOff {
+		t.Fatalf("tuning not folded: %+v", tn)
+	}
+	if e.String() != "parallel(workers=4)" {
+		t.Fatalf("String() = %q", e.String())
+	}
+	if Parallel(Stealing(true)).Tuning().Steal != sim.StealOn {
+		t.Fatal("Stealing(true) not folded")
+	}
+	if err := Parallel(Workers(8)).Validate(4); !errors.Is(err, sim.ErrBadTuning) {
+		t.Fatalf("Validate(4) with 8 workers: err = %v, want ErrBadTuning", err)
+	}
+	if err := Sequential().Validate(0); err != nil {
+		t.Fatalf("sequential Validate: %v", err)
+	}
+}
+
+// TestRunPhaseEngineValue runs the same phase under WithEngineValue
+// configurations and the deprecated WithEngine path; all must agree.
+func TestRunPhaseEngineValue(t *testing.T) {
+	const nodes = 4
+	space := gptr.NewSpace(nodes)
+	ptrs := make([]gptr.Ptr, nodes)
+	for i := range ptrs {
+		ptrs[i] = space.Alloc(i, thing{id: i})
+	}
+	phase := func(opt RunOption) stats.Run {
+		return RunPhase(machine.DefaultT3D(nodes), space, DPASpec(10),
+			func(rt Runtime, ep *fm.EP, nd *machine.Node) {
+				for _, p := range ptrs {
+					rt.Spawn(p, func(o gptr.Object) {})
+				}
+				rt.Drain()
+			}, opt)
+	}
+	base := phase(WithEngineValue(Sequential()))
+	for _, opt := range []RunOption{
+		WithEngineValue(Parallel()),
+		WithEngineValue(Parallel(Workers(2))),
+		WithEngineValue(Parallel(Workers(nodes), Stealing(false))),
+		WithEngine(sim.Parallel), // deprecated enum path must keep working
+	} {
+		if diff := base.Diff(phase(opt)); diff != "" {
+			t.Fatalf("engine value run diverges from sequential: %s", diff)
+		}
+	}
+	par := phase(WithEngineValue(Parallel(Workers(2))))
+	if par.Host == nil || par.Host.Workers != 2 {
+		t.Fatalf("parallel run host counters = %+v, want 2 workers", par.Host)
+	}
+	if base.Host != nil {
+		t.Fatal("sequential run carries host counters")
+	}
+}
+
+// TestRunPhaseRejectsBadTuning: an out-of-range worker count must surface as
+// a typed-config panic at machine construction, not a hang or a panic deep
+// in internal/sim.
+func TestRunPhaseRejectsBadTuning(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for workers > nodes")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, sim.ErrBadTuning) {
+			t.Fatalf("panic %v, want an ErrBadTuning error", r)
+		}
+	}()
+	space := gptr.NewSpace(2)
+	RunPhase(machine.DefaultT3D(2), space, DPASpec(10),
+		func(rt Runtime, ep *fm.EP, nd *machine.Node) {},
+		WithEngineValue(Parallel(Workers(3))))
 }
 
 func TestRunPhaseCrossTraffic(t *testing.T) {

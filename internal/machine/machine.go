@@ -69,9 +69,16 @@ type Config struct {
 
 	// Engine selects the simulation engine (sim.Sequential, the zero value,
 	// or sim.Parallel). Both produce bit-identical results; the parallel
-	// engine runs simulated nodes on real goroutines, synchronized by
-	// lookahead epochs derived from the machine's minimum message delay.
+	// engine runs simulated nodes on real goroutines across worker shards,
+	// synchronized by conservative lookahead windows derived from the
+	// machine's minimum message delay.
 	Engine sim.EngineKind
+
+	// EngineTuning carries the parallel engine's host-performance knobs
+	// (worker count, lookahead override, steal policy). The zero value means
+	// all defaults; the sequential engine ignores it. None of the knobs
+	// affect simulation results — only host execution.
+	EngineTuning sim.Tuning
 
 	// Faults configures deterministic fault injection and the fm
 	// reliability protocol. The zero value disables both, leaving every
@@ -140,6 +147,18 @@ func (c *Config) Validate() error {
 	}
 	if c.Engine == sim.Parallel && c.Lookahead() <= 0 {
 		return fmt.Errorf("machine: parallel engine requires SendOverhead+LatencyBase > 0 (lookahead = %d)", c.Lookahead())
+	}
+	// Engine tuning is validated here with typed errors (*sim.TuningError,
+	// errors.Is-matchable via sim.ErrBadTuning) so bad worker counts or
+	// lookahead overrides are rejected at configuration time instead of
+	// panicking deep inside internal/sim. Nodes is the process count: one
+	// simulated process per node.
+	if err := c.EngineTuning.Validate(c.Nodes); err != nil {
+		return err
+	}
+	if c.Engine == sim.Parallel && c.EngineTuning.Lookahead > c.Lookahead() {
+		return &sim.TuningError{Field: "lookahead", Value: int64(c.EngineTuning.Lookahead),
+			Reason: fmt.Sprintf("exceeds the machine's minimum message delay %d", c.Lookahead())}
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -223,9 +242,14 @@ func New(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	eng, err := sim.NewEngineWith(cfg.Engine, cfg.Lookahead(), cfg.EngineTuning)
+	if err != nil {
+		// Unreachable after Validate, which checks the same tuning bounds.
+		panic(err)
+	}
 	m := &Machine{
 		Cfg:  cfg,
-		eng:  sim.NewEngineOf(cfg.Engine, cfg.Lookahead()),
+		eng:  eng,
 		plan: sim.NewFaultPlan(cfg.Faults.FaultParams),
 	}
 	if cfg.TraceBins > 0 {
@@ -278,6 +302,27 @@ func (m *Machine) Run(main func(n *Node)) (sim.Time, error) {
 
 // Nodes returns the machine's nodes after Run (for stats collection).
 func (m *Machine) Nodes() []*Node { return m.nodes }
+
+// WorkerStats returns the parallel engine's per-worker host scheduling
+// counters after Run, nil under the sequential engine. These counters
+// reflect host timing (steal races), not virtual time, so they are excluded
+// from all deterministic result comparisons.
+func (m *Machine) WorkerStats() []sim.WorkerStats {
+	if pe, ok := m.eng.(*sim.ParEngine); ok {
+		return pe.WorkerStats()
+	}
+	return nil
+}
+
+// EngineWindows returns the parallel engine's window count after Run (0
+// under the sequential engine). Unlike WorkerStats, the window count is a
+// pure function of virtual time and identical across worker counts.
+func (m *Machine) EngineWindows() int64 {
+	if pe, ok := m.eng.(*sim.ParEngine); ok {
+		return pe.Windows()
+	}
+	return 0
+}
 
 // Node is one simulated processor with its network interface and local
 // memory system model. All methods must be called from the node's own

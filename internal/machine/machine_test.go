@@ -107,6 +107,87 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateEngineTuning pins the typed rejection of bad engine tuning at
+// config-validation time: errors.Is-matchable, never a panic from deep in
+// internal/sim.
+func TestValidateEngineTuning(t *testing.T) {
+	bad := []Config{
+		func() Config { c := DefaultT3D(4); c.EngineTuning.Workers = -1; return c }(),
+		func() Config { c := DefaultT3D(4); c.EngineTuning.Workers = 5; return c }(), // > nodes
+		func() Config { c := DefaultT3D(4); c.EngineTuning.Lookahead = -10; return c }(),
+		func() Config {
+			c := DefaultT3D(4)
+			c.Engine = sim.Parallel
+			c.EngineTuning.Lookahead = c.Lookahead() + 1 // wider than the machine window
+			return c
+		}(),
+	}
+	for i, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("case %d: expected tuning error", i)
+			continue
+		}
+		if !errors.Is(err, sim.ErrBadTuning) {
+			t.Errorf("case %d: %v does not wrap sim.ErrBadTuning", i, err)
+		}
+	}
+
+	good := DefaultT3D(4)
+	good.Engine = sim.Parallel
+	good.EngineTuning = sim.Tuning{Workers: 2, Lookahead: good.Lookahead() - 1, Steal: sim.StealOff}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid tuning rejected: %v", err)
+	}
+}
+
+// TestMachineRunWithTuning runs a machine under explicit tuning and checks
+// results match the default parallel configuration, and that the host
+// scheduling counters are exposed.
+func TestMachineRunWithTuning(t *testing.T) {
+	body := func(n *Node) {
+		if n.ID()%2 == 0 {
+			n.Charge(sim.Compute, 100)
+			n.Send(n.ID()+1, 7, nil, 16)
+			return
+		}
+		n.WaitMessage()
+	}
+	run := func(cfg Config) ([]sim.Time, []sim.WorkerStats, int64) {
+		m := New(cfg)
+		if _, err := m.Run(body); err != nil {
+			t.Fatal(err)
+		}
+		clocks := make([]sim.Time, cfg.Nodes)
+		for i, n := range m.Nodes() {
+			clocks[i] = n.Now()
+		}
+		return clocks, m.WorkerStats(), m.EngineWindows()
+	}
+
+	seqCfg := DefaultT3D(4)
+	seqClocks, seqWS, _ := run(seqCfg)
+	if seqWS != nil {
+		t.Fatal("sequential engine reported worker stats")
+	}
+
+	parCfg := DefaultT3D(4)
+	parCfg.Engine = sim.Parallel
+	parCfg.EngineTuning = sim.Tuning{Workers: 2}
+	parClocks, parWS, windows := run(parCfg)
+	for i := range seqClocks {
+		if parClocks[i] != seqClocks[i] {
+			t.Fatalf("node %d clock diverges: %d vs %d", i, parClocks[i], seqClocks[i])
+		}
+	}
+	if len(parWS) != 2 {
+		t.Fatalf("worker stats for %d shards, want 2", len(parWS))
+	}
+	if windows == 0 {
+		t.Fatal("no windows recorded")
+	}
+}
+
 func TestLookahead(t *testing.T) {
 	cfg := DefaultT3D(4)
 	if got := cfg.Lookahead(); got != cfg.SendOverhead+cfg.LatencyBase {

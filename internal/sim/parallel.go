@@ -2,58 +2,145 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
-// ParEngine is the conservative parallel engine. It exploits the machine
-// model's minimum message delay (the lookahead): any message posted by a
-// process whose clock is at least the global virtual time (GVT) arrives no
-// earlier than GVT + lookahead. All processes whose next event falls inside
-// the window [GVT, GVT+lookahead) can therefore execute concurrently without
-// any of them observing a message from its logical past. The engine runs
-// such epochs back to back, separated by barriers at which it recomputes the
-// GVT and the window frontier.
+// ParEngine is the conservative parallel engine, built as a sharded
+// work-stealing scheduler. It exploits the machine model's minimum message
+// delay (the lookahead): any message posted by a process whose clock is at
+// least the global virtual time (GVT) arrives no earlier than GVT +
+// lookahead. All processes whose next event falls inside the window
+// [GVT, GVT+lookahead) can therefore execute without any of them observing a
+// message from its logical past. The engine runs such windows back to back.
 //
-// Within an epoch every admitted process runs on its own goroutine until its
-// next scheduling event (poll, wait, or completion) would cross the
-// frontier. Epoch membership, idle accounting, and message delivery order —
+// # Sharded scheduling
+//
+// The P simulated processes are partitioned into W worker shards (block
+// partition, so neighboring node ids share a shard). Each shard owns a local
+// indexed (wake, id) min-heap of its parked processes. At a window open the
+// opener pops every process whose wake time lies inside the window from its
+// shard's heap into that shard's run queue, and seeds one chain of control
+// per non-empty shard. A chain runs its shard's admitted processes one at a
+// time: a process that yields picks its shard's next runnable process and
+// hands control to it directly, so at most W process goroutines are runnable
+// at any instant — the Go scheduler maps them onto W cores without the
+// goroutine thrash of waking every admitted process at once.
+//
+// When a chain exhausts its own run queue and stealing is enabled, it steals
+// the tail of the heaviest remaining run queue and keeps running; a chain
+// dies only when every shard's run queue is empty. The last chain to die
+// opens the next window itself.
+//
+// # Decentralized horizon min-reduction
+//
+// The next window's GVT is not found by a stop-the-world scan over all P
+// processes. Each shard's heap root already carries the shard's earliest
+// wake, so the opener folds W heap roots (a min-reduction over shards)
+// plus two bounded lists per shard: the processes that parked during the
+// window, and the blocked processes whose wake a cross-process post lowered
+// (the poster records a decrease-key note instead of touching the foreign
+// heap; the opener rebuilds a noted shard's heap, since batched stale keys
+// cannot be repaired by per-element sifts). Opening a window therefore costs
+// O(W + parked·log(shard) + noted-shard sizes) instead of O(P).
+//
+// All shard state the opener reads is synchronized by the chain counter:
+// every chain's writes happen before its final atomic decrement, and the
+// opener is the chain that observed the counter reach zero.
+//
+// # Determinism
+//
+// Window membership, idle accounting, and message delivery order —
 // (arrival, sender, per-sender sequence) — are all functions of virtual
-// time, never of real-time interleaving, so a parallel run is bit-identical
-// to a sequential run of the same program.
-//
-// Workers are persistent goroutines and the barrier is decentralized: each
-// worker decrements one atomic counter when its next event crosses the
-// frontier, and the last worker through the barrier runs the coordinator
-// logic itself — it recomputes the GVT, admits the next batch, wakes the
-// others, and, if it is admitted again, keeps running without ever parking.
-// An epoch therefore costs one wake-up per *other* admitted process and no
-// coordinator round trip, instead of the resume/yield channel ping-pong (2P
-// blocking channel operations plus two coordinator hand-offs) per epoch
-// that a naive centralized design pays. Run only seeds the first epoch and
-// then waits for the termination signal.
-//
-// The atomic counter makes the barrier safe: every worker's state, wake,
-// and mailbox writes happen before its decrement, and the decrement chain
-// synchronizes with the last worker's read, so the epoch scan needs no
-// locks.
+// time, never of real-time interleaving or of which worker ran a process, so
+// a parallel run is bit-identical to a sequential run of the same program
+// regardless of worker count or steal timing. Stealing moves host work, not
+// virtual-time events.
 //
 // The lookahead contract is enforced: a cross-process post whose arrival
-// precedes the current epoch frontier panics (see Proc.Post). The machine
+// precedes the current window frontier panics (see Proc.Post). The machine
 // layer guarantees the contract by charging at least the lookahead's worth
 // of send overhead plus base latency on every message.
 type ParEngine struct {
-	procs       []*Proc
-	lookahead   Time
-	batch       []*Proc
-	epoch       uint64       // generation counter, stamped on admitted procs
-	outstanding atomic.Int32 // admitted workers still inside the epoch
-	done        chan runOutcome
+	procs     []*Proc
+	lookahead Time
+	tuning    Tuning
+	workers   int // resolved at Run
+	stealing  bool
+	shards    []*parShard
+	// active counts chains still running in the current window. The final
+	// decrement's atomicity orders every chain's shard writes before the
+	// opener's reads.
+	active  atomic.Int32
+	window  uint64  // window generation, stamped on admitted procs
+	windows int64   // total windows opened (host counter)
+	seeds   []*Proc // window-open scratch: one chain seed per non-empty shard
+	done    chan runOutcome
 }
 
-// NewParallel returns an empty parallel engine with the given lookahead
-// (the machine's minimum cross-process message delay, in cycles). The
-// lookahead must be positive: with zero lookahead no two processes can ever
-// be safely coscheduled and the sequential engine should be used instead.
+// parShard is one worker's shard: a heap of parked processes plus the
+// window-scoped run queue and the two note lists the opener folds. The
+// mutex guards runq/parked/lowered against owner-vs-thief access during a
+// window; the heap is touched only by the single-threaded opener.
+type parShard struct {
+	id   int
+	heap schedHeap
+
+	mu   sync.Mutex
+	runq []*Proc // admitted, not yet resumed (sorted by (wake,id); head serves the owner, tail serves thieves)
+	head int
+	// pending mirrors len(runq)-head so steal scans read one atomic instead
+	// of taking the lock.
+	pending atomic.Int32
+	parked  []*Proc // procs that yielded during this window, folded into heap at open
+	lowered []*Proc // blocked procs whose wake a poster lowered (stale heap keys)
+
+	// Host counters (guarded by mu where chains race, opener-only otherwise).
+	resumes int64 // procs served from this shard's run queue to its own chain
+	stolen  int64 // procs thieves took from this shard's run queue
+	steals  int64 // procs this shard's chain took from other shards
+
+	_ [64]byte // keep shards off each other's cache lines
+}
+
+// take removes one admitted process from the shard's run queue: the head for
+// the shard's own chain, the tail for thieves (classic deque discipline —
+// thieves take the latest-waking work, preserving the owner's locality).
+// Returns nil when the queue is empty.
+func (sh *parShard) take(steal bool) *Proc {
+	if sh.pending.Load() == 0 {
+		return nil
+	}
+	sh.mu.Lock()
+	var q *Proc
+	if sh.head < len(sh.runq) {
+		if steal {
+			q = sh.runq[len(sh.runq)-1]
+			sh.runq[len(sh.runq)-1] = nil
+			sh.runq = sh.runq[:len(sh.runq)-1]
+			sh.stolen++
+		} else {
+			q = sh.runq[sh.head]
+			sh.runq[sh.head] = nil
+			sh.head++
+			sh.resumes++
+		}
+		sh.pending.Add(-1)
+	}
+	sh.mu.Unlock()
+	return q
+}
+
+// NewParallel returns an empty parallel engine with the given lookahead (the
+// machine's minimum cross-process message delay, in cycles) and default
+// tuning: worker count from GOMAXPROCS, stealing on. The lookahead must be
+// positive: with zero lookahead no two processes can ever be safely
+// coscheduled and the sequential engine should be used instead.
+//
+// Panic contract (intentional, mirrored by machine.New): a non-positive
+// lookahead here is a programming bug in the caller, not an input error.
+// Input-level validation with typed errors lives in Tuning.Validate and
+// NewEngineWith.
 func NewParallel(lookahead Time) *ParEngine {
 	if lookahead <= 0 {
 		panic(fmt.Sprintf("sim: parallel engine requires positive lookahead, got %d", lookahead))
@@ -61,34 +148,62 @@ func NewParallel(lookahead Time) *ParEngine {
 	return &ParEngine{lookahead: lookahead}
 }
 
+// NewParallelTuned is NewParallel with explicit tuning (worker count, steal
+// policy; Tuning.Lookahead must already be resolved into lookahead — see
+// NewEngineWith). The tuning's workers-vs-procs bound is checked at Run,
+// when the process count is known.
+func NewParallelTuned(lookahead Time, t Tuning) *ParEngine {
+	e := NewParallel(lookahead)
+	e.tuning = t
+	return e
+}
+
 // Lookahead returns the engine's lookahead window width in cycles.
 func (e *ParEngine) Lookahead() Time { return e.lookahead }
 
+// Workers returns the resolved worker count (0 before Run).
+func (e *ParEngine) Workers() int { return e.workers }
+
+// Windows returns the number of conservative windows opened so far.
+func (e *ParEngine) Windows() int64 { return e.windows }
+
+// WorkerStats is one worker shard's host-side scheduling counters. Unlike
+// every virtual-time statistic, these depend on host timing (steal races)
+// and are therefore excluded from the deterministic run tables.
+type WorkerStats struct {
+	// Worker is the shard index.
+	Worker int
+	// Procs is the number of simulated processes the shard owns.
+	Procs int
+	// Resumes counts processes the shard's own chain served from its run
+	// queue.
+	Resumes int64
+	// Stolen counts processes thieves took from this shard's run queue.
+	Stolen int64
+	// Steals counts processes this shard's chain took from other shards.
+	Steals int64
+}
+
+// WorkerStats returns the per-shard host counters (nil before Run). Safe to
+// call after Run returned; calling it while the engine runs would race.
+func (e *ParEngine) WorkerStats() []WorkerStats {
+	if e.shards == nil {
+		return nil
+	}
+	out := make([]WorkerStats, len(e.shards))
+	for i, sh := range e.shards {
+		n := 0
+		for _, p := range e.procs {
+			if int(p.shard) == i {
+				n++
+			}
+		}
+		out[i] = WorkerStats{Worker: i, Procs: n, Resumes: sh.resumes, Stolen: sh.stolen, Steals: sh.steals}
+	}
+	return out
+}
+
 func (e *ParEngine) peer(id int) *Proc { return e.procs[id] }
-
-// park is the worker side of the epoch barrier: the yielding process has
-// recorded its state and wake under its mutex. The last worker through the
-// barrier opens the next epoch itself and keeps running (without blocking)
-// if it is admitted again.
-func (e *ParEngine) park(p *Proc) bool {
-	if e.outstanding.Add(-1) > 0 {
-		return false
-	}
-	return e.openEpoch(p)
-}
-
-// exit reports a completed worker to the epoch barrier; like park, the last
-// worker out opens the next epoch (in which it can no longer take part).
-func (e *ParEngine) exit(p *Proc) {
-	if e.outstanding.Add(-1) == 0 {
-		e.openEpoch(p)
-	}
-}
-
-// lowered is a no-op under the parallel engine: wake-time updates are
-// published under the receiver's mutex, and the barrier scan folds them in
-// when the next epoch opens.
-func (e *ParEngine) lowered(q *Proc) {}
 
 // Spawn registers a new process whose body is fn. Processes start at time 0.
 // Spawn must be called before Run.
@@ -98,30 +213,133 @@ func (e *ParEngine) Spawn(fn func(p *Proc)) *Proc {
 	return p
 }
 
-// openEpoch runs the barrier: scan every process for the GVT, admit the next
-// batch, and wake its members. It runs either on Run's goroutine (seeding,
-// self == nil) or on the goroutine of the last worker to leave the previous
-// epoch; in the latter case the return value reports whether that worker was
-// admitted again and should keep running instead of parking. Termination and
-// deadlock are signalled to Run through the outcome channel.
-func (e *ParEngine) openEpoch(self *Proc) bool {
-	// All other workers are parked: their counter decrements synchronize
-	// their state, wake, and mailbox writes with this scan, so no locks are
-	// needed.
+// park is called on the yielding process's goroutine after it has recorded
+// its state and wake under its mutex: record the park for the opener's fold,
+// then continue this chain of control with the shard's (or a victim's) next
+// admitted process.
+func (e *ParEngine) park(p *Proc) bool {
+	sh := e.shards[p.shard]
+	sh.mu.Lock()
+	sh.parked = append(sh.parked, p)
+	sh.mu.Unlock()
+	return e.continueChain(sh, p)
+}
+
+// exit continues the chain after a process body returned; the done process
+// is simply never folded back into a heap.
+func (e *ParEngine) exit(p *Proc) {
+	e.continueChain(e.shards[p.shard], nil)
+}
+
+// lowered records a decrease-key note: a post lowered blocked process q's
+// wake below its key in q's shard heap. The opener applies the note at the
+// next window open; posters never touch foreign heaps. Called without q's
+// mutex held (lock order: shard mutexes are leaves).
+func (e *ParEngine) lowered(q *Proc) {
+	if e.shards == nil {
+		return // post before Run (spawn-time setup); heaps not built yet
+	}
+	sh := e.shards[q.shard]
+	sh.mu.Lock()
+	sh.lowered = append(sh.lowered, q)
+	sh.mu.Unlock()
+}
+
+// continueChain hands this chain of control to the next admitted process:
+// the home shard's run-queue head, else (stealing) the heaviest victim's
+// tail. When every run queue is empty the chain dies; the last chain opens
+// the next window. The return value follows scheduler.park: true means the
+// calling process should keep running.
+func (e *ParEngine) continueChain(home *parShard, self *Proc) bool {
+	q := home.take(false)
+	if q == nil && e.stealing {
+		q = e.steal(home)
+	}
+	if q != nil {
+		q.resume <- struct{}{}
+		return false
+	}
+	if e.active.Add(-1) > 0 {
+		return false
+	}
+	return e.openWindow(self)
+}
+
+// steal takes the tail of the heaviest other shard's run queue. Run queues
+// only shrink during a window, so a scan that finds them all empty is final.
+func (e *ParEngine) steal(home *parShard) *Proc {
+	for {
+		var victim *parShard
+		best := int32(0)
+		for _, sh := range e.shards {
+			if sh == home {
+				continue
+			}
+			if n := sh.pending.Load(); n > best {
+				best, victim = n, sh
+			}
+		}
+		if victim == nil {
+			return nil
+		}
+		if q := victim.take(true); q != nil {
+			home.mu.Lock()
+			home.steals++
+			home.mu.Unlock()
+			return q
+		}
+	}
+}
+
+// openWindow runs the window turnover: fold parked processes and
+// decrease-key notes into the shard heaps, min-reduce the shard heap roots
+// into the GVT, admit every process inside [GVT, GVT+lookahead) to its
+// shard's run queue, and seed one chain per non-empty shard. It runs either
+// on Run's goroutine (seeding, self == nil) or on the goroutine of the last
+// chain of the previous window; the return value reports whether that
+// process itself was picked as a seed and should keep running instead of
+// parking. Termination and deadlock are signalled to Run through the outcome
+// channel.
+func (e *ParEngine) openWindow(self *Proc) bool {
+	// All chains are dead: their counter decrements synchronize their
+	// state, wake, mailbox, and note-list writes with this turnover, so no
+	// locks are needed.
 	gvt, second := Forever, Forever
 	live := false
-	for _, p := range e.procs {
-		if p.state == stateDone {
+	for _, sh := range e.shards {
+		for _, p := range sh.parked {
+			if p.state != stateDone {
+				sh.heap.push(p)
+			}
+		}
+		sh.parked = sh.parked[:0]
+		// Decrease-key notes: one or more in-heap keys went stale (lowered)
+		// during the window, so rebuild the shard heap. Per-note up() sifts
+		// are NOT sound here, even for a single note: a parked-fold push
+		// compares against the noted process's current (lowered) wake and can
+		// legitimately stop beneath it, and the up() that then lifts the
+		// noted process away drops its old larger parent onto the fresh
+		// element — a violated edge with no note left to repair it. Two
+		// stale keys compose the same trap without any pushes. Heapify is
+		// O(shard) = O(P/W), no worse than the window's admission work.
+		// (A process lowered while in the parked list was pushed above with
+		// its already-lowered wake and needs no repair, but the rebuild is
+		// harmless.)
+		if len(sh.lowered) > 0 {
+			sh.heap.heapify()
+			sh.lowered = sh.lowered[:0]
+		}
+		if len(sh.heap) == 0 {
 			continue
 		}
 		live = true
-		if w := p.effectiveWake(); w < p.wake {
-			p.wake = w
+		if w := sh.heap.min().wake; w < gvt {
+			gvt, second = w, gvt
+		} else if w < second {
+			second = w
 		}
-		if p.wake < gvt {
-			gvt, second = p.wake, gvt
-		} else if p.wake < second {
-			second = p.wake
+		if w2 := sh.heap.secondWake(); w2 < second {
+			second = w2
 		}
 	}
 	if !live {
@@ -130,71 +348,104 @@ func (e *ParEngine) openEpoch(self *Proc) bool {
 	}
 	if gvt == Forever {
 		// Every live process is blocked with no pending messages; Run
-		// reports the DeadlockError while the workers stay parked.
+		// reports the DeadlockError while the chains stay parked.
 		e.done <- runDeadlock
 		return false
 	}
 	frontier := gvt + e.lookahead
 
-	// Admit every process whose next event is inside the window. Prep
-	// (idle catch-up, horizon, state, epoch stamp) completes for the
-	// whole batch before any process resumes, so a running process
-	// never races the barrier.
-	e.epoch++
-	e.batch = e.batch[:0]
-	selfAdmitted := false
-	for _, p := range e.procs {
-		if p.state == stateDone || p.wake >= frontier {
+	// Admission: pop each shard's processes inside the window into its run
+	// queue. Prep (idle catch-up, horizon, state, window stamp) completes
+	// for every admitted process before any chain is seeded, so a running
+	// process never races the turnover.
+	e.window++
+	e.windows++
+	admitted := 0
+	var lone *Proc
+	for _, sh := range e.shards {
+		sh.runq = sh.runq[:0]
+		sh.head = 0
+		for len(sh.heap) > 0 && sh.heap.min().wake < frontier {
+			p := sh.heap.popMin()
+			p.catchUp()
+			p.horizon = frontier
+			p.frontier = frontier
+			p.state = stateRunning
+			p.epochGen = e.window
+			sh.runq = append(sh.runq, p)
+			admitted++
+			lone = p
+		}
+		sh.pending.Store(int32(len(sh.runq)))
+	}
+	if admitted == 1 && second > frontier {
+		// Singleton-window extension: with every other live process parked
+		// at wake >= second, the earliest possible new arrival at the lone
+		// runner is second + lookahead, so it may run that far before the
+		// next turnover. Its own posts shrink the bound via the
+		// horizon-lowering rule in Post (the receiver may then reply). This
+		// collapses the window count of imbalanced phases without touching
+		// delivery order. The frontier stays at the admission window, so
+		// the lookahead contract check on posts is not weakened.
+		if second == Forever {
+			lone.horizon = Forever
+		} else {
+			lone.horizon = second + e.lookahead
+		}
+	}
+
+	// Seed one chain per non-empty shard. Seeds are all taken and counted
+	// before the first resume: once any chain runs it may steal from (or
+	// exhaust) another shard's run queue, so deciding seeds from live
+	// pending counts would race, and a seeded process that immediately
+	// parks again must not see the chain count reach zero early.
+	e.seeds = e.seeds[:0]
+	for _, sh := range e.shards {
+		if q := sh.take(false); q != nil {
+			e.seeds = append(e.seeds, q)
+		}
+	}
+	e.active.Store(int32(len(e.seeds)))
+	selfSeeded := false
+	for _, q := range e.seeds {
+		if q == self {
+			// The opener itself is its shard's seed: keep running on its
+			// goroutine instead of bouncing through a channel hand-off.
+			selfSeeded = true
 			continue
 		}
-		p.catchUp()
-		p.horizon = frontier
-		p.frontier = frontier
-		p.state = stateRunning
-		p.epochGen = e.epoch
-		e.batch = append(e.batch, p)
-		if p == self {
-			selfAdmitted = true
-		}
+		q.resume <- struct{}{}
 	}
-	if len(e.batch) == 1 && second > frontier {
-		// Singleton-window extension: with every other live process
-		// parked at wake >= second, the earliest possible new arrival
-		// at the lone runner is second + lookahead, so it may run that
-		// far before the next barrier. Its own posts shrink the bound
-		// via the horizon-lowering rule in Post (the receiver may then
-		// reply). This collapses the epoch count of imbalanced phases
-		// without touching delivery order. The frontier stays at the
-		// admission window, so the lookahead contract check on posts
-		// is not weakened.
-		if second == Forever {
-			e.batch[0].horizon = Forever
-		} else {
-			e.batch[0].horizon = second + e.lookahead
-		}
-	}
-	// The counter must cover the whole batch before any member resumes: a
-	// woken process that immediately parks again must not see the barrier
-	// reach zero early.
-	e.outstanding.Store(int32(len(e.batch)))
-	for _, p := range e.batch {
-		if p != self {
-			p.resume <- struct{}{}
-		}
-	}
-	return selfAdmitted
+	return selfSeeded
 }
 
 // Run executes all processes until every one has returned. It returns the
 // makespan: the largest final clock across processes. On deadlock (all
 // processes blocked with empty mailboxes) it returns a *DeadlockError; the
-// blocked worker goroutines stay parked.
+// blocked process goroutines stay parked. Tuning problems (worker count out
+// of [1, procs]) surface as a *TuningError.
 func (e *ParEngine) Run() (Time, error) {
 	if len(e.procs) == 0 {
 		return 0, nil
 	}
+	if err := e.tuning.Validate(len(e.procs)); err != nil {
+		return 0, err
+	}
+	e.workers = e.tuning.resolveWorkers(len(e.procs))
+	e.stealing = e.tuning.Steal.enabled()
+	e.shards = make([]*parShard, e.workers)
+	for i := range e.shards {
+		e.shards[i] = &parShard{id: i}
+	}
+	// Block partition: shard i owns procs [i*P/W, (i+1)*P/W) — neighboring
+	// node ids (which talk the most under owner-major layouts) share a
+	// shard and therefore a worker's cache.
+	for i, p := range e.procs {
+		p.shard = int32(i * e.workers / len(e.procs))
+		e.shards[p.shard].heap.push(p)
+	}
 	e.done = make(chan runOutcome, 1)
-	e.openEpoch(nil)
+	e.openWindow(nil)
 	if <-e.done == runDeadlock {
 		return makespan(e.procs), &DeadlockError{Detail: describe(e.procs)}
 	}
@@ -204,8 +455,9 @@ func (e *ParEngine) Run() (Time, error) {
 // Procs returns the engine's processes (for stats collection after Run).
 func (e *ParEngine) Procs() []*Proc { return e.procs }
 
-// NewEngineOf returns an engine of the given kind. The lookahead is only
-// used by the parallel engine.
+// NewEngineOf returns an engine of the given kind with default tuning. The
+// lookahead is only used by the parallel engine. See NewEngineWith for the
+// tuned, error-returning variant.
 func NewEngineOf(kind EngineKind, lookahead Time) Engine {
 	if kind == Parallel {
 		return NewParallel(lookahead)

@@ -79,6 +79,34 @@ func (h schedHeap) fix(i int) {
 	}
 }
 
+// heapify restores the heap property over the whole array by sifting every
+// internal node down. The parallel engine's window opener uses it when more
+// than one key went stale in a window: batched decrease-keys cannot be fixed
+// by per-element up() sifts, because an up() can displace a still-stale
+// ancestor below an element whose own sift already ran, leaving a violated
+// edge with no fix pending.
+func (h schedHeap) heapify() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// push inserts p at its (wake, id) key. The parallel engine's window opener
+// uses it to fold procs that parked during the window back into their
+// shard's heap.
+func (h *schedHeap) push(p *Proc) {
+	*h = append(*h, p)
+	p.heapIdx = len(*h) - 1
+	h.up(p.heapIdx)
+}
+
+// popMin removes and returns the heap minimum. The heap must be non-empty.
+func (h *schedHeap) popMin() *Proc {
+	p := (*h)[0]
+	h.remove(p)
+	return p
+}
+
 // remove deletes p from the heap (used when a process completes).
 func (h *schedHeap) remove(p *Proc) {
 	i := p.heapIdx

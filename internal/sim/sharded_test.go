@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWorkerCountsMatchSequential sweeps the sharded engine's worker count
+// (including stealing off) over the broadcast workload: every configuration
+// must reproduce the sequential run bit for bit — worker count and steal
+// policy move host work, never virtual-time results.
+func TestWorkerCountsMatchSequential(t *testing.T) {
+	const n = 8
+	const delay = 50
+	build := broadcastWorkload(n, delay)
+
+	seq := NewEngine()
+	build(seq)
+	seq.Run()
+	want := snapshot(seq)
+
+	tunings := []Tuning{
+		{Workers: 1},
+		{Workers: 2},
+		{Workers: 3}, // uneven shards: 8 procs over 3 workers
+		{Workers: n},
+		{Workers: 2, Steal: StealOff},
+		{}, // auto
+	}
+	for _, tn := range tunings {
+		par := NewParallelTuned(delay, tn)
+		build(par)
+		if _, err := par.Run(); err != nil {
+			t.Fatalf("workers=%d steal=%v: %v", tn.Workers, tn.Steal, err)
+		}
+		got := snapshot(par)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d steal=%v: proc %d diverges:\n  seq: %s\n  par: %s",
+					tn.Workers, tn.Steal, i, want[i], got[i])
+			}
+		}
+		if w := par.Workers(); tn.Workers > 0 && w != tn.Workers {
+			t.Fatalf("resolved workers = %d, want %d", w, tn.Workers)
+		}
+		if par.Windows() == 0 {
+			t.Fatal("no windows opened")
+		}
+	}
+}
+
+// stealWorkload is deliberately shard-imbalanced for W=2 over 8 procs:
+// shard 0 (procs 0–3) runs a many-window broadcast ring while shard 1 keeps
+// only proc 4 alive on a light self-tick (5–7 exit immediately), so shard
+// 1's chain exhausts its run queue first in nearly every window and steals
+// from shard 0.
+func stealWorkload(rounds int, delay Time) func(e Engine) {
+	return func(e Engine) {
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					for j := 0; j < 4; j++ {
+						if j != i {
+							p.Post(j, Message{Arrival: p.Now() + delay, Handler: r})
+						}
+					}
+					for seen := 0; seen < 3; {
+						seen += len(p.WaitMessage())
+					}
+					p.Charge(Compute, Time(1+i))
+				}
+			})
+		}
+		e.Spawn(func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Post(4, Message{Arrival: p.Now() + delay})
+				p.WaitMessage()
+			}
+		})
+		for i := 5; i < 8; i++ {
+			e.Spawn(func(p *Proc) {})
+		}
+	}
+}
+
+// TestShardedStealing drives the imbalanced workload at two workers and
+// checks (a) results are always bit-identical to sequential, and (b) the
+// steal path actually runs: across a few attempts the host counters must
+// record cross-shard steals, and every stolen proc is accounted by both the
+// victim (Stolen) and the thief (Steals).
+func TestShardedStealing(t *testing.T) {
+	const rounds = 100
+	const delay = 20
+	build := stealWorkload(rounds, delay)
+
+	seq := NewEngine()
+	build(seq)
+	seq.Run()
+	want := snapshot(seq)
+
+	var steals int64
+	for attempt := 0; attempt < 5; attempt++ {
+		par := NewParallelTuned(delay, Tuning{Workers: 2})
+		build(par)
+		if _, err := par.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := snapshot(par)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("attempt %d: proc %d diverges:\n  seq: %s\n  par: %s", attempt, i, want[i], got[i])
+			}
+		}
+		ws := par.WorkerStats()
+		if len(ws) != 2 {
+			t.Fatalf("WorkerStats has %d shards, want 2", len(ws))
+		}
+		var stolen, took, procs int64
+		for _, w := range ws {
+			stolen += w.Stolen
+			took += w.Steals
+			procs += int64(w.Procs)
+		}
+		if stolen != took {
+			t.Fatalf("victim/thief accounting diverges: %d stolen, %d steals", stolen, took)
+		}
+		if procs != 8 {
+			t.Fatalf("shards own %d procs, want 8", procs)
+		}
+		steals += took
+		if steals > 0 {
+			return
+		}
+	}
+	t.Errorf("no cross-shard steals in 5 imbalanced runs; steal path looks dead")
+}
+
+// TestShardedStealingOffNeverSteals pins the StealOff policy: shard chains
+// must only serve their own run queues.
+func TestShardedStealingOffNeverSteals(t *testing.T) {
+	par := NewParallelTuned(20, Tuning{Workers: 2, Steal: StealOff})
+	stealWorkload(50, 20)(par)
+	if _, err := par.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range par.WorkerStats() {
+		if w.Steals != 0 || w.Stolen != 0 {
+			t.Fatalf("steal counters non-zero with stealing off: %+v", w)
+		}
+	}
+}
+
+// TestCrossWorkerMessagePathZeroAllocs pins the cross-worker host contract:
+// once mailbox rings, drain buffers, and the per-shard parked/lowered/run
+// queues are warm, a full cross-shard round trip — post, decrease-key note,
+// window turnover, chain hand-off, reply — allocates nothing. The two procs
+// land on different shards (two procs, two workers), so every message
+// crosses workers and every round trip is a window turnover.
+func TestCrossWorkerMessagePathZeroAllocs(t *testing.T) {
+	const look = 10
+	const stop = -1
+	e := NewParallelTuned(look, Tuning{Workers: 2})
+	var allocs float64
+	e.Spawn(func(p *Proc) {
+		step := func() {
+			p.Post(1, Message{Arrival: p.Now() + look, Handler: 1, Bytes: 8})
+			p.WaitMessage()
+		}
+		// Warm up: size the buffers and queues.
+		for i := 0; i < 8; i++ {
+			step()
+		}
+		allocs = testing.AllocsPerRun(100, step)
+		p.Post(1, Message{Arrival: p.Now() + look, Handler: stop})
+	})
+	e.Spawn(func(p *Proc) {
+		for {
+			for _, m := range p.WaitMessage() {
+				if m.Handler == stop {
+					return
+				}
+				p.Post(0, Message{Arrival: p.Now() + look, Handler: 2, Bytes: 8})
+			}
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("cross-worker round trip allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestTuningValidate covers the typed rejection of bad engine tuning.
+func TestTuningValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		t     Tuning
+		procs int
+		bad   bool
+	}{
+		{"zero is valid", Tuning{}, 8, false},
+		{"explicit in range", Tuning{Workers: 4, Lookahead: 5, Steal: StealOn}, 8, false},
+		{"negative workers", Tuning{Workers: -1}, 8, true},
+		{"workers exceed procs", Tuning{Workers: 9}, 8, true},
+		{"workers unchecked without procs", Tuning{Workers: 9}, 0, false},
+		{"negative lookahead", Tuning{Lookahead: -5}, 8, true},
+		{"unknown steal policy", Tuning{Steal: StealPolicy(9)}, 8, true},
+	}
+	for _, c := range cases {
+		err := c.t.Validate(c.procs)
+		if c.bad && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+		if !c.bad && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadTuning) {
+				t.Errorf("%s: %v does not wrap ErrBadTuning", c.name, err)
+			}
+			var te *TuningError
+			if !errors.As(err, &te) || te.Field == "" {
+				t.Errorf("%s: %v is not a field-naming *TuningError", c.name, err)
+			}
+		}
+	}
+}
+
+// TestNewEngineWith covers the error-returning tuned constructor, including
+// the lookahead-override bound.
+func TestNewEngineWith(t *testing.T) {
+	if e, err := NewEngineWith(Sequential, 0, Tuning{}); err != nil {
+		t.Fatal(err)
+	} else if _, ok := e.(*SeqEngine); !ok {
+		t.Fatal("sequential kind did not produce a SeqEngine")
+	}
+
+	e, err := NewEngineWith(Parallel, 550, Tuning{Lookahead: 100, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, ok := e.(*ParEngine)
+	if !ok {
+		t.Fatal("parallel kind did not produce a ParEngine")
+	}
+	if pe.Lookahead() != 100 {
+		t.Fatalf("lookahead override not applied: %d", pe.Lookahead())
+	}
+
+	if _, err := NewEngineWith(Parallel, 550, Tuning{Lookahead: 600}); !errors.Is(err, ErrBadTuning) {
+		t.Fatalf("override wider than the machine window: err = %v, want ErrBadTuning", err)
+	}
+	if _, err := NewEngineWith(Parallel, 0, Tuning{}); !errors.Is(err, ErrBadTuning) {
+		t.Fatalf("non-positive lookahead: err = %v, want ErrBadTuning", err)
+	}
+	if _, err := NewEngineWith(Parallel, 10, Tuning{Workers: -3}); !errors.Is(err, ErrBadTuning) {
+		t.Fatalf("negative workers: err = %v, want ErrBadTuning", err)
+	}
+}
+
+// TestRunRejectsWorkersBeyondProcs pins the Run-time recheck of the
+// workers-vs-procs bound (the proc count is only known at Run).
+func TestRunRejectsWorkersBeyondProcs(t *testing.T) {
+	e := NewParallelTuned(10, Tuning{Workers: 5})
+	for i := 0; i < 2; i++ {
+		e.Spawn(func(p *Proc) {})
+	}
+	_, err := e.Run()
+	if !errors.Is(err, ErrBadTuning) {
+		t.Fatalf("err = %v, want ErrBadTuning", err)
+	}
+	var te *TuningError
+	if !errors.As(err, &te) || te.Field != "workers" {
+		t.Fatalf("err = %v, want a workers *TuningError", err)
+	}
+}
+
+// TestStealPolicyString covers the policy names used by flags and tables.
+func TestStealPolicyString(t *testing.T) {
+	if StealAuto.String() != "auto" || StealOn.String() != "on" || StealOff.String() != "off" {
+		t.Fatal("StealPolicy.String")
+	}
+}
+
+// staleKeyWorkload reproduces the decrease-key/push interleaving that broke
+// the per-note up() sift repair (see openWindow). Servers sit blocked at
+// Forever deep in the shard heaps; posters lower their keys with arrivals
+// that often land beyond the next frontier, so the lowered keys linger in
+// the heap as stale entries; tickers park ready at staggered clocks in the
+// same windows, so the fold pushes fresh keys that can legitimately stop
+// beneath a stale one. With the broken repair, the sift that lifted the
+// stale key away dropped a Forever parent onto such a fresh key, burying a
+// runnable process — which surfaced as idle-accounting divergence or a
+// spurious deadlock.
+func staleKeyWorkload(rounds int, delay Time) func(e Engine) {
+	const servers = 6
+	const posters = 3
+	perServer := rounds * posters / servers
+	return func(e Engine) {
+		for i := 0; i < servers; i++ {
+			e.Spawn(func(p *Proc) { // blocked at Forever between bursts
+				for got := 0; got < perServer; {
+					got += len(p.WaitMessage())
+				}
+			})
+		}
+		for i := 0; i < posters; i++ {
+			i := i
+			e.Spawn(func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					// Heavy, uneven compute: the poster parks ready at wakes
+					// far beyond the frontier, so its fold push can stop
+					// beneath a lingering stale key. If the broken repair then
+					// buries it under a Forever parent, its late admission
+					// posts from a catch-up clock behind the frontier — a loud
+					// lookahead-violation panic.
+					p.Charge(Compute, Time(11+(i*31+r*17)%83))
+					p.Poll()
+					// Arrivals overshoot the lookahead by a varying margin, so
+					// the lowered key often stays in the heap past the next
+					// window open — a lingering stale entry.
+					at := p.Now() + delay + Time((i*7+r*11)%29)
+					p.Post((r+i)%servers, Message{Arrival: at, Handler: r})
+				}
+			})
+		}
+		for i := 0; i < 7; i++ {
+			i := i
+			e.Spawn(func(p *Proc) { // tickers: park ready at staggered clocks
+				for r := 0; r < rounds*2; r++ {
+					p.Charge(Compute, Time(1+(i*7+r*13)%17))
+					p.Poll()
+				}
+			})
+		}
+	}
+}
+
+// TestLoweredKeyRepair pins the stale-heap-key repair across worker counts:
+// every configuration must match the sequential run bit for bit.
+func TestLoweredKeyRepair(t *testing.T) {
+	const rounds = 300
+	const delay = 10
+	build := staleKeyWorkload(rounds, delay)
+
+	seq := NewEngine()
+	build(seq)
+	if _, err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(seq)
+
+	for _, w := range []int{1, 2, 3, 16} {
+		par := NewParallelTuned(delay, Tuning{Workers: w})
+		build(par)
+		if _, err := par.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := snapshot(par)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: proc %d diverges:\n  seq: %s\n  par: %s", w, i, want[i], got[i])
+			}
+		}
+	}
+}

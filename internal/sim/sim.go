@@ -15,12 +15,15 @@
 //     passes directly from the yielding process to the next one — the
 //     scheduling decision is O(log P) and costs a single goroutine hand-off
 //     (or none at all, when the yielding process is still the earliest).
-//   - The parallel engine (NewParallel) executes every process whose next
-//     event falls inside a lookahead window on its own goroutine, truly in
-//     parallel, and advances the window frontier by barrier epochs. Workers
-//     are persistent and the barrier is decentralized: the last worker to
-//     finish an epoch opens the next one itself, so an epoch costs one
-//     wake-up per other admitted process and no coordinator round trip.
+//   - The parallel engine (NewParallel) is a sharded work-stealing
+//     scheduler: processes are partitioned across W worker shards, each
+//     owning its own (wake, id) min-heap, and every process whose next event
+//     falls inside the conservative lookahead window runs truly in parallel
+//     with the rest of its window. Idle workers steal runnable processes
+//     from the heaviest shard, and the window turnover is decentralized —
+//     the last running chain of control recomputes the horizon itself with
+//     a min-reduction over the W shard heaps, never a stop-the-world scan
+//     over all P processes.
 //
 // Determinism across engines rests on one rule: mailbox delivery is ordered
 // by (arrival time, sender id, per-sender sequence number), which is a total
@@ -205,8 +208,8 @@ type scheduler interface {
 	// state is Done.
 	exit(p *Proc)
 	// lowered notifies the engine that a post lowered q's wake time while q
-	// was blocked (sequential engine: decrease-key; parallel engine: no-op,
-	// the coordinator rescans at the barrier).
+	// was blocked (sequential engine: immediate decrease-key; parallel
+	// engine: a note on q's shard, applied at the next window open).
 	lowered(q *Proc)
 }
 
@@ -256,7 +259,8 @@ type Proc struct {
 	// mutex.
 	strict   bool
 	sendSeq  uint64
-	heapIdx  int       // position in the sequential engine's wake heap
+	heapIdx  int       // position in a wake heap (-1 when popped), or the sequential engine's
+	shard    int32     // owning worker shard under the parallel engine (fixed before Run)
 	drainBuf []Message // reusable Poll/WaitMessage result buffer
 	charges  [NumCategories]Time
 	idleCat  Category // category charged for idle waits (default Idle)
@@ -381,13 +385,21 @@ func (p *Proc) Post(dst int, m Message) {
 	p.sendSeq++
 	q := p.sched.peer(dst)
 	if q.strict {
+		low := false
 		q.mu.Lock()
 		q.mailbox.push(m)
 		q.mailN.Store(int32(q.mailbox.size()))
 		if q.state == stateBlocked && m.Arrival < q.wake {
 			q.wake = m.Arrival
+			low = true
 		}
 		q.mu.Unlock()
+		if low {
+			// Decrease-key note, recorded outside q's mutex (shard mutexes
+			// are leaves in the lock order). The window opener cannot run
+			// concurrently — this poster has not parked yet.
+			p.sched.lowered(q)
+		}
 	} else {
 		q.mailbox.push(m)
 		if q.state == stateBlocked && m.Arrival < q.wake {

@@ -204,6 +204,40 @@ type Run struct {
 	// concatenated: each phase's bins are shifted by the makespan of the
 	// phases before it, so the merged timeline covers the whole run.
 	Timeline *machine.Timeline
+	// Host carries the parallel engine's host-side scheduling counters
+	// (worker shards, resumes, steals). Unlike every field above it is NOT
+	// deterministic — steal counts depend on real-time races — so it is
+	// excluded from Diff/Equal and from the deterministic Table output; nil
+	// under the sequential engine.
+	Host *HostSched
+}
+
+// HostSched is the parallel engine's host-side scheduling record for a run:
+// how the simulated processes were partitioned and how host work actually
+// moved between workers. Purely diagnostic; never part of result identity.
+type HostSched struct {
+	// Workers is the resolved worker-shard count.
+	Workers int
+	// Windows counts conservative lookahead windows opened. This one IS a
+	// pure function of virtual time (identical across worker counts), but it
+	// lives here because it only exists under the parallel engine.
+	Windows int64
+	// PerWorker is the per-shard counter block.
+	PerWorker []sim.WorkerStats
+}
+
+// Steals returns total cross-shard steals across workers.
+func (h *HostSched) Steals() int64 {
+	var n int64
+	for _, w := range h.PerWorker {
+		n += w.Steals
+	}
+	return n
+}
+
+// String renders a compact one-line summary, e.g. for stderr diagnostics.
+func (h *HostSched) String() string {
+	return fmt.Sprintf("workers=%d windows=%d steals=%d", h.Workers, h.Windows, h.Steals())
 }
 
 // Collect gathers per-node breakdowns from a machine after Run.
@@ -225,6 +259,9 @@ func Collect(m *machine.Machine, makespan sim.Time) Run {
 			Jittered:   n.FaultJitter,
 			Stalls:     n.FaultStalls,
 		})
+	}
+	if ws := m.WorkerStats(); ws != nil {
+		r.Host = &HostSched{Workers: len(ws), Windows: m.EngineWindows(), PerWorker: ws}
 	}
 	return r
 }
@@ -255,6 +292,22 @@ func (r *Run) Merge(o Run) {
 	}
 	r.Faults.Add(o.Faults)
 	r.Err = joinErrs(r.Err, o.Err)
+	if o.Host != nil {
+		if r.Host == nil {
+			h := *o.Host
+			h.PerWorker = append([]sim.WorkerStats(nil), o.Host.PerWorker...)
+			r.Host = &h
+		} else {
+			r.Host.Windows += o.Host.Windows
+			if len(r.Host.PerWorker) == len(o.Host.PerWorker) {
+				for i, w := range o.Host.PerWorker {
+					r.Host.PerWorker[i].Resumes += w.Resumes
+					r.Host.PerWorker[i].Stolen += w.Stolen
+					r.Host.PerWorker[i].Steals += w.Steals
+				}
+			}
+		}
+	}
 	if o.Timeline != nil {
 		if r.Timeline == nil {
 			r.Timeline = &machine.Timeline{BinWidth: o.Timeline.BinWidth}

@@ -15,7 +15,7 @@ import (
 
 // obsRun executes the treesum workload under one engine with a fresh tracer
 // and returns the exported Chrome trace and Prometheus metrics text.
-func obsRun(t *testing.T, spec Spec, kind EngineKind, opts ...RunOption) (traceOut, metricsOut []byte) {
+func obsRun(t *testing.T, spec Spec, eng Engine, opts ...RunOption) (traceOut, metricsOut []byte) {
 	t.Helper()
 	const nodes = 4
 	const depth = 8
@@ -34,7 +34,7 @@ func obsRun(t *testing.T, spec Spec, kind EngineKind, opts ...RunOption) (traceO
 			if nd.ID() == 0 {
 				tpart.Run(compiled, rt, nd, res, root)
 			}
-		}, append([]RunOption{WithEngine(kind), WithTracer(tracer)}, opts...)...)
+		}, append([]RunOption{WithEngineValue(eng), WithTracer(tracer)}, opts...)...)
 	if run.Err != nil {
 		t.Fatal(run.Err)
 	}
@@ -53,8 +53,8 @@ func TestObsEquivalenceAcrossEngines(t *testing.T) {
 	for _, spec := range equivSpecs() {
 		spec := spec
 		t.Run(spec.String(), func(t *testing.T) {
-			seqTrace, seqMetrics := obsRun(t, spec, Sequential)
-			parTrace, parMetrics := obsRun(t, spec, Parallel)
+			seqTrace, seqMetrics := obsRun(t, spec, Sequential())
+			parTrace, parMetrics := obsRun(t, spec, Parallel())
 			if !bytes.Equal(seqTrace, parTrace) {
 				t.Error("exported traces differ between engines")
 			}
@@ -70,8 +70,8 @@ func TestObsEquivalenceAcrossEngines(t *testing.T) {
 }
 
 func TestObsEquivalenceAcrossRepeats(t *testing.T) {
-	aTrace, aMetrics := obsRun(t, DPASpec(8), Parallel)
-	bTrace, bMetrics := obsRun(t, DPASpec(8), Parallel)
+	aTrace, aMetrics := obsRun(t, DPASpec(8), Parallel(Workers(2)))
+	bTrace, bMetrics := obsRun(t, DPASpec(8), Parallel(Workers(4)))
 	if !bytes.Equal(aTrace, bTrace) {
 		t.Error("repeat runs exported different traces")
 	}
@@ -82,8 +82,8 @@ func TestObsEquivalenceAcrossRepeats(t *testing.T) {
 
 func TestObsEquivalenceUnderFaults(t *testing.T) {
 	fc := DefaultFaults(7, 0.05)
-	seqTrace, seqMetrics := obsRun(t, DPASpec(8), Sequential, WithFaults(fc))
-	parTrace, parMetrics := obsRun(t, DPASpec(8), Parallel, WithFaults(fc))
+	seqTrace, seqMetrics := obsRun(t, DPASpec(8), Sequential(), WithFaults(fc))
+	parTrace, parMetrics := obsRun(t, DPASpec(8), Parallel(), WithFaults(fc))
 	if !bytes.Equal(seqTrace, parTrace) {
 		t.Error("faulty-run traces differ between engines")
 	}
