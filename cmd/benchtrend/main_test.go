@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a fixture snapshot into dir and returns its path.
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const goodSnap = `{"app":"em3d","nodes":16,"bodies":2048,"runtime":"DPA(50)",
+"benchmarks":[{"name":"seq","ns_per_op":100,"bytes_per_op":8,"allocs_per_op":1}]}`
+
+const laterSnap = `{"app":"em3d","nodes":16,"bodies":2048,"runtime":"DPA(50)",
+"benchmarks":[{"name":"seq","ns_per_op":90,"bytes_per_op":8,"allocs_per_op":1}]}`
+
+// TestRunSkipsDamagedSnapshots is the skip-with-warning contract: a
+// truncated file, a missing file, and a parsed-but-empty file must each be
+// warned about and skipped while the remaining good snapshots still produce
+// the trend, with exit code 0.
+func TestRunSkipsDamagedSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "BENCH_1.json", goodSnap)
+	later := write(t, dir, "BENCH_4.json", laterSnap)
+	truncated := write(t, dir, "BENCH_2.json", goodSnap[:len(goodSnap)/2])
+	empty := write(t, dir, "BENCH_3.json", `{"go_version":"go1.22"}`)
+	missing := filepath.Join(dir, "BENCH_0.json")
+
+	var out, errw strings.Builder
+	code := run([]string{good, later, truncated, empty, missing}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code %d with usable snapshots present\nstderr: %s", code, errw.String())
+	}
+	for _, frag := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_0.json", "warning"} {
+		if !strings.Contains(errw.String(), frag) {
+			t.Errorf("stderr missing %q:\n%s", frag, errw.String())
+		}
+	}
+	if got := out.String(); !strings.Contains(got, "2 snapshots") || !strings.Contains(got, "-10.0%") {
+		t.Errorf("trend not computed from the surviving snapshots:\n%s", got)
+	}
+}
+
+// TestRunFailsWithNoUsableSnapshots: skipping everything is still a failure —
+// the trend must not silently report nothing.
+func TestRunFailsWithNoUsableSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	truncated := write(t, dir, "BENCH_1.json", `{"app":"em`)
+
+	var out, errw strings.Builder
+	if code := run([]string{truncated}, &out, &errw); code != 1 {
+		t.Fatalf("exit code %d, want 1 when every snapshot is unusable", code)
+	}
+	if !strings.Contains(errw.String(), "no usable snapshots") {
+		t.Errorf("stderr missing summary:\n%s", errw.String())
+	}
+}

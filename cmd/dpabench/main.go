@@ -75,7 +75,8 @@ func main() {
 	terms := flag.Int("terms", 29, "FMM expansion terms")
 	strip := flag.Int("strip", 50, "DPA strip size (0 = one strip)")
 	adaptive := flag.Bool("adaptive", false, "enable DPA's adaptive scheduling layer (strip control, owner-major scheduling, RTT-derived aggregation)")
-	strips := flag.String("strips", "", "comma-separated strip sizes: run a static sweep plus an adaptive row and print a comparison table")
+	planner := flag.Bool("planner", false, "enable DPA's predictive communication planner (cost-model strip sizing, reuse-region pinning, histogram-derived aggregation limits)")
+	strips := flag.String("strips", "", "comma-separated strip sizes: run a static sweep plus adaptive and planner rows and print a comparison table")
 	agg := flag.Int("agg", 16, "DPA aggregation limit (1 disables, 0 unlimited)")
 	noPipe := flag.Bool("nopipe", false, "disable DPA message pipelining")
 	seed := flag.Int64("seed", 42, "workload seed")
@@ -124,6 +125,9 @@ func main() {
 		opts := []driver.SpecOption{driver.WithAggLimit(*agg), driver.WithPipeline(!*noPipe)}
 		if *adaptive {
 			opts = append(opts, driver.WithAdaptive())
+		}
+		if *planner {
+			opts = append(opts, driver.WithPlanner())
 		}
 		spec = driver.DPASpec(*strip, opts...)
 	case "caching":
@@ -303,9 +307,18 @@ func stripSweep(mcfg machine.Config, runWith func(machine.Config, driver.Spec) s
 		fmt.Printf("adaptive  final strip %d (%d grows, %d shrinks)\n",
 			ar.RT.FinalStrip, ar.RT.StripGrows, ar.RT.StripShrinks)
 	}
+	pr := row(driver.DPASpec(50, append(opts, driver.WithPlanner())...))
+	if pr.RT.PlanStrips > 0 {
+		fmt.Printf("planner   %d strips planned, %d mispredicted, final strip %d\n",
+			pr.RT.PlanStrips, pr.RT.PlanMispredicts, pr.RT.FinalStrip)
+	}
 	if best > 0 {
 		fmt.Printf("adaptive vs best static: %+.2f%%\n",
 			(float64(ar.Makespan)/float64(best)-1)*100)
+		fmt.Printf("planner  vs best static: %+.2f%%\n",
+			(float64(pr.Makespan)/float64(best)-1)*100)
+		fmt.Printf("planner  vs adaptive:    %+.2f%%\n",
+			(float64(pr.Makespan)/float64(ar.Makespan)-1)*100)
 	}
 }
 

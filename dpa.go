@@ -200,6 +200,15 @@ func WithCacheCapacity(n int) SpecOption { return driver.WithCacheCapacity(n) }
 // aggregation limits. The strip passed to DPASpec becomes the initial strip.
 func WithAdaptive() SpecOption { return driver.WithAdaptive() }
 
+// WithPlanner enables DPA's predictive communication planner: a closed-form
+// cost model chooses each strip's size and per-destination aggregation
+// limits at the boundary before the strip runs, and renamed copies are
+// pinned for exactly their reuse region (refetches become structurally
+// zero under the memory budget). Implies the adaptive layer's owner-major
+// machinery; the bounded reactive controller corrects only when the model
+// mispredicts. Mutually exclusive with WithLIFO.
+func WithPlanner() SpecOption { return driver.WithPlanner() }
+
 // WithStripBounds sets the adaptive strip controller's bounds: strip sizes
 // stay in [min, max] and a strip whose renamed copies exceed memBudget bytes
 // triggers a shrink. Zero values keep the defaults.

@@ -17,7 +17,7 @@ import (
 
 // equivSpecs are the runtime schemes the engines are compared under.
 func equivSpecs() []Spec {
-	return []Spec{DPASpec(8), CachingSpec(), BlockingSpec()}
+	return []Spec{DPASpec(8), DPASpec(8, WithPlanner()), CachingSpec(), BlockingSpec()}
 }
 
 // equivEngines returns the engine configurations every equivalence suite

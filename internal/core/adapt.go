@@ -89,7 +89,40 @@ func (rt *RT) beginStrip() {
 	rt.lastEnq = -1 // enqueue-gap samples do not span strips
 }
 
-// adaptStrip picks the next strip size from this strip's observations:
+// stripSignals is one strip's observed communication behaviour, diffed from
+// the beginStrip snapshots. It is the shared input of the reactive controller
+// (adaptStrip) and the predictive planner's cost model and misprediction
+// check (plan.go): both read only simulated-time counters through it.
+type stripSignals struct {
+	iters        int // top-level iterations the strip admitted
+	fetches      int64
+	refetches    int64
+	msgs         int64
+	fetchedBytes int64 // renamed-copy bytes fetched during the strip
+	stall        sim.Time
+	elapsed      sim.Time
+	peakOver     bool // the strip's own copies overflowed the memory budget
+}
+
+// stripSignals collects the just-finished strip's signals. Must run before
+// any end-of-strip copy release (the byte delta reads arrivedBytes).
+func (rt *RT) stripSignals(iters int) stripSignals {
+	c := &rt.ctl
+	return stripSignals{
+		iters:        iters,
+		fetches:      rt.st.Fetches - c.baseFetches,
+		refetches:    rt.st.Refetches - c.baseRefetches,
+		msgs:         rt.st.ReqMsgs - c.baseReqMsgs,
+		fetchedBytes: rt.arrivedBytes - c.baseArrived,
+		stall:        rt.EP.Node.Charges()[sim.FetchStall] - c.baseStall,
+		elapsed:      rt.EP.Node.Now() - c.baseNow,
+		peakOver:     c.stripPeak-c.baseArrived > c.memBudget,
+	}
+}
+
+// controllerNext is the bounded multiplicative-increase/decrease step, the
+// reactive half shared by adaptive mode (every strip) and planner mode (only
+// on model misprediction):
 //
 //   - renamed-copy memory above budget shrinks (the paper's reason to
 //     strip-mine at all);
@@ -102,43 +135,50 @@ func (rt *RT) beginStrip() {
 //     grow;
 //   - weak versions of the same signals grow by half the factor, and a
 //     quiet strip (little refetch or stall, full batches) holds.
-func (rt *RT) adaptStrip() {
-	c := &rt.ctl
-	fetches := rt.st.Fetches - c.baseFetches
-	refetches := rt.st.Refetches - c.baseRefetches
-	msgs := rt.st.ReqMsgs - c.baseReqMsgs
-	stall := rt.EP.Node.Charges()[sim.FetchStall] - c.baseStall
-	elapsed := rt.EP.Node.Now() - c.baseNow
-	aggBase := int64(rt.Cfg.AggLimit) // 0 = unlimited: under-fill unmeasurable
-
-	cur := c.strip
-	next := cur
+//
+// The result is unclamped; callers apply the [min, max] bounds.
+func controllerNext(cur int, sig stripSignals, aggBase int64) int {
 	switch {
-	case c.stripPeak-c.baseArrived > c.memBudget:
+	case sig.peakOver:
 		// One strip's own copies overflow the budget: only a smaller strip
 		// can bound memory.
-		next = cur / 2
-	case fetches == 0:
+		return cur / 2
+	case sig.fetches == 0:
 		// A purely local strip carries no communication signal.
-	case refetches*4 >= fetches ||
-		(elapsed > 0 && stall*2 >= elapsed) ||
-		(aggBase > 0 && fetches*4 <= msgs*aggBase):
-		next = cur * 2 * growNum / growDen
-	case refetches*16 >= fetches ||
-		(elapsed > 0 && stall*4 >= elapsed) ||
-		(aggBase > 0 && fetches < msgs*aggBase):
-		next = cur * growNum / growDen
+	case sig.refetches*4 >= sig.fetches ||
+		(sig.elapsed > 0 && sig.stall*2 >= sig.elapsed) ||
+		(aggBase > 0 && sig.fetches*4 <= sig.msgs*aggBase):
+		return cur * 2 * growNum / growDen
+	case sig.refetches*16 >= sig.fetches ||
+		(sig.elapsed > 0 && sig.stall*4 >= sig.elapsed) ||
+		(aggBase > 0 && sig.fetches < sig.msgs*aggBase):
+		return cur * growNum / growDen
 	}
+	return cur
+}
+
+// adaptStrip applies the reactive controller after every adaptive strip.
+func (rt *RT) adaptStrip() {
+	c := &rt.ctl
+	sig := rt.stripSignals(0) // iters unused by the controller
+	rt.setStrip(controllerNext(c.strip, sig, int64(rt.Cfg.AggLimit)))
+}
+
+// setStrip clamps and installs a new strip size, maintaining the grow/shrink
+// counters, the adaptation trace, and the KAdapt event stream. A no-op when
+// the clamped size equals the current one.
+func (rt *RT) setStrip(next int) {
+	c := &rt.ctl
 	if next < c.min {
 		next = c.min
 	}
 	if next > c.max {
 		next = c.max
 	}
-	if next == cur {
+	if next == c.strip {
 		return
 	}
-	if next > cur {
+	if next > c.strip {
 		rt.st.StripGrows++
 	} else {
 		rt.st.StripShrinks++
@@ -204,6 +244,11 @@ func (rt *RT) destLimit(dst int) int {
 	base := rt.Cfg.aggLimit()
 	if !rt.adaptive || rt.Cfg.AggLimit <= 0 {
 		return base // static mode, or unlimited stays unlimited
+	}
+	if rt.planner {
+		// Planner mode predicts the limit from the previous strip's owner
+		// histogram instead of reacting to RTT/production-rate EWMAs.
+		return rt.plannedDestLimit(dst, rt.Cfg.AggLimit)
 	}
 	rtt, gap := rt.rttEwma[dst], rt.gapEwma
 	if rtt == 0 || gap == 0 {

@@ -57,8 +57,23 @@ type Config struct {
 	// runs stay bit-identical across engines and repeats; with Adaptive
 	// false none of these paths run and behaviour is unchanged.
 	Adaptive bool
-	// StripMin/StripMax bound the adaptive controller (<= 0: defaults 8
-	// and 4096). Ignored in static mode.
+	// Planner enables the predictive communication planner: at every strip
+	// boundary a closed-form cost model — fed by the strip's reuse summary
+	// (per-owner fetch histogram, dependent-thread counts, stall fraction,
+	// renamed-copy bytes) — chooses the next strip size and per-destination
+	// aggregation limits before the strip runs, and the D-table pins each
+	// renamed copy for exactly its reuse region (released only once a full
+	// strip passes without a reference, and only under memory pressure).
+	// The reactive controller of Adaptive mode remains as a fallback: it
+	// only corrects when the model mispredicts. Planner implies the
+	// owner-major scheduling and batched reply scatter of Adaptive mode and
+	// supersedes its feedback loop when both are set. All decisions are
+	// pure functions of simulated-time state, so planned runs stay
+	// bit-identical across engines, repeats, and seeded faults; with
+	// Planner false none of these paths run and behaviour is unchanged.
+	Planner bool
+	// StripMin/StripMax bound the adaptive controller and the planner
+	// (<= 0: defaults 8 and 4096). Ignored in static mode.
 	StripMin int
 	StripMax int
 	// MemBudget is the renamed-copy byte budget per strip above which the
@@ -126,6 +141,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Adaptive && c.LIFO {
 		return fmt.Errorf("core: Adaptive and LIFO are mutually exclusive (owner-major scheduling replaces the queue discipline)")
+	}
+	if c.Planner && c.LIFO {
+		return fmt.Errorf("core: Planner and LIFO are mutually exclusive (owner-major scheduling replaces the queue discipline)")
 	}
 	if c.AggLimit < 0 {
 		return fmt.Errorf("core: AggLimit must be >= 0 (0 = unlimited), got %d", c.AggLimit)
@@ -307,10 +325,13 @@ func (rt *RT) scatterReply(owner int, rep *fetchReply) {
 // is in flight it holds the suspended threads (the paper's M table); once
 // the reply lands it holds the renamed copy (the D table). Fusing the two
 // maps means a remote spawn costs one hash probe instead of up to three.
+// lastUse packs into the padding after the bool, keeping the entry at the
+// 48-byte layout the sizeof regression test budgets.
 type dEntry struct {
 	obj     gptr.Object
-	arrived bool
 	waiters []Thread
+	lastUse int32 // strip index of the last reference (planner reuse regions)
+	arrived bool
 }
 
 // RT is the per-node DPA runtime instance.
@@ -342,8 +363,14 @@ type RT struct {
 	// cached at construction so hot-path emission sites pay one nil check.
 	trc *obs.NodeTrace
 
-	// Adaptive mode (Cfg.Adaptive); see adapt.go and ownerq.go.
+	// Owner-major mode (Cfg.Adaptive or Cfg.Planner); see adapt.go,
+	// ownerq.go, and plan.go. adaptive gates the shared machinery (owner
+	// queue, batched scatter, RTT/gap observation); planner additionally
+	// routes ForAll and the aggregation limits through the predictive
+	// planner instead of the reactive controller.
 	adaptive  bool
+	planner   bool
+	plan      planState
 	oq        ownerQueue // owner-major ready queue (replaces ready)
 	ctl       stripCtl
 	trace     []stats.AdaptPoint
@@ -366,7 +393,8 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 		agg:           make([][]gptr.Ptr, ep.Node.N()),
 		pendingByDest: make([]int, ep.Node.N()),
 		seen:          make(map[gptr.Ptr]struct{}),
-		adaptive:      cfg.Adaptive,
+		adaptive:      cfg.Adaptive || cfg.Planner,
+		planner:       cfg.Planner,
 		trc:           ep.Node.Obs(),
 	}
 	if rt.adaptive {
@@ -377,6 +405,9 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 		rt.rttMark = make([]bool, n)
 		rt.lastEnq = -1
 		rt.initCtl()
+	}
+	if rt.planner {
+		rt.plan.init(ep.Node.N(), ep.Node.Cfg())
 	}
 	ep.Ctx = rt
 	return rt
@@ -410,6 +441,7 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	n.Charge(sim.SchedOv, rt.Cfg.MapCost)
 	if e, ok := rt.table[p]; ok {
 		rt.st.Reuses++
+		e.lastUse = rt.plan.stripIdx // reuse region stays open
 		if e.arrived {
 			rt.pushReady(int(p.Node), readyEntry{key: p.Key(), obj: e.obj, fn: fn})
 		} else {
@@ -421,6 +453,7 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	}
 	e := rt.pool.getEntry()
 	e.waiters = append(e.waiters, fn)
+	e.lastUse = rt.plan.stripIdx
 	rt.table[p] = e
 	rt.waiting++
 	rt.st.Fetches++
@@ -466,6 +499,12 @@ func (rt *RT) enqueueReq(p gptr.Ptr) {
 	rt.aggCount++
 	if rt.adaptive {
 		rt.observeGap(rt.EP.Node.Now())
+	}
+	if rt.planner {
+		if rt.plan.curHist[dst] == 0 {
+			rt.plan.owners++
+		}
+		rt.plan.curHist[dst]++
 	}
 	if rt.Cfg.Pipeline && len(rt.agg[dst]) >= rt.destLimit(dst) {
 		rt.flushDest(dst)
@@ -632,6 +671,10 @@ func (rt *RT) runOne() {
 // iterations per strip and draining all (transitively spawned) work between
 // strips. Renamed copies are discarded at strip boundaries, bounding memory.
 func (rt *RT) ForAll(n int, spawnIter func(i int)) {
+	if rt.planner {
+		rt.forAllPlanned(n, spawnIter)
+		return
+	}
 	if rt.adaptive {
 		rt.forAllAdaptive(n, spawnIter)
 		return

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"dpa/internal/obs"
+)
+
+// This file wires the predictive planner (planmodel.go) into the strip-mined
+// loop: the planned ForAll variant, the reuse-region lifecycle of renamed
+// copies in the D-table, and the misprediction hand-off to the bounded
+// reactive controller (adapt.go). See DESIGN.md §11.
+//
+// # Reuse regions
+//
+// Every D-table entry is stamped with the strip index of its last reference
+// (dEntry.lastUse, written at Spawn). A copy's reuse region is the span of
+// strips from its fetch to its last reference; the region is known to be
+// closed once a full strip passes without a reference. At a strip boundary
+// the planner releases only closed regions, and only under memory pressure —
+// an open region is never released, so a pointer referenced in consecutive
+// (or any budget-respecting pattern of) strips is fetched exactly once per
+// region and refetch traffic is structurally zero, not asymptotically zero
+// like the reactive controller's retention heuristic.
+
+// beginPlanStrip rolls the reuse summary: the finished strip's owner
+// histogram becomes the prediction source (prevHist) and the new strip
+// starts counting afresh.
+func (rt *RT) beginPlanStrip() {
+	ps := &rt.plan
+	ps.prevHist, ps.curHist = ps.curHist, ps.prevHist
+	ps.prevIters = ps.lastIters
+	clear(ps.curHist)
+	ps.owners = 0
+}
+
+// forAllPlanned is the planner's strip-mined loop: the same
+// admit/flush/drain structure as the static and adaptive ForAll variants
+// (including the runt tail-merge), with the cost model choosing each strip
+// size at the boundary before the strip runs.
+func (rt *RT) forAllPlanned(n int, spawnIter func(i int)) {
+	c := &rt.ctl
+	if !rt.plan.planned {
+		// First contact: no strip has run, so the reuse summary is empty and
+		// the cost model's only evidence-free bound is memory — enforced
+		// reactively by the misprediction hand-off. Every strip boundary is
+		// pure overhead under zero evidence of pressure (the fetches==0
+		// branch of the model), so plan the whole loop as one strip, bounded
+		// by the configured maximum. This is what "zero warm-up strips"
+		// means: the first strip is already model-chosen, not cfg.Strip.
+		s := n
+		if s > c.max {
+			s = c.max
+		}
+		rt.setStrip(s)
+		rt.plan.planned = true
+	}
+	if c.strip <= 0 {
+		c.strip = n // Strip 0: start with the whole loop as one strip
+	}
+	for lo := 0; lo < n; {
+		s := c.strip
+		hi := lo + s
+		if rem := n - hi; rem > 0 && rem < s/4 {
+			hi = n
+		}
+		if hi > n {
+			hi = n
+		}
+		rt.beginStrip()
+		rt.beginPlanStrip()
+		for i := lo; i < hi; i++ {
+			spawnIter(i)
+		}
+		if rt.Cfg.Pipeline {
+			rt.FlushAll()
+		}
+		rt.Drain()
+		sig := rt.stripSignals(hi - lo) // before releases mutate arrivedBytes
+		rt.plan.lastIters = hi - lo
+		rt.endStripPlanned()
+		if rt.trc != nil {
+			rt.trc.Event(obs.KStrip, rt.EP.Node.Now(), int64(lo), int64(hi-lo))
+		}
+		rt.planStrip(sig)
+		rt.plan.stripIdx++
+		lo = hi
+	}
+	rt.st.FinalStrip = int64(c.strip)
+	c.loop++
+}
+
+// endStripPlanned closes a strip under the reuse-region discipline: every
+// renamed copy stays pinned while the table fits the memory budget; under
+// pressure, exactly the copies whose reuse region has closed (no reference
+// in the strip that just finished) are released. If the live regions alone
+// still exceed the budget, the memory model mispredicted — fall back to the
+// wholesale drop and flag the misprediction for planStrip. Both map scans
+// have order-independent effects (deletions and commutative sums), so map
+// iteration order cannot perturb determinism.
+func (rt *RT) endStripPlanned() {
+	rt.checkStripInvariant()
+	if rt.arrivedBytes <= rt.ctl.memBudget {
+		return
+	}
+	cur := rt.plan.stripIdx
+	for p, e := range rt.table {
+		if e.lastUse < cur {
+			rt.arrivedBytes -= int64(e.obj.ByteSize())
+			delete(rt.table, p)
+			rt.pool.putEntry(e)
+			rt.st.RegionReleases++
+		}
+	}
+	if rt.arrivedBytes > rt.ctl.memBudget {
+		rt.plan.overBudget = true
+		rt.dropCopies()
+	}
+}
+
+// planMispredicted checks the model's promise against the strip's outcome:
+// the strip was model-sized, and either its own copies overflowed the budget
+// (memory bound wrong), the live reuse regions did (endStripPlanned fell
+// back to a wholesale drop), a refetch occurred (a region was released while
+// still live — the exactly-once contract broke), or the model claimed the
+// latency bound was covered yet the strip spent half its time stalled.
+func (rt *RT) planMispredicted(sig stripSignals, proposal, cur int) bool {
+	if !rt.plan.planned {
+		return false // first strip: the model had no hand in its size
+	}
+	if sig.peakOver || rt.plan.overBudget {
+		return true
+	}
+	if sig.refetches > 0 {
+		return true
+	}
+	if sig.fetches > 0 && sig.elapsed > 0 && sig.stall*2 >= sig.elapsed && proposal <= cur {
+		return true
+	}
+	return false
+}
+
+// planStrip is the planner's boundary decision: evaluate the cost model on
+// the finished strip's signals and install its proposal — unless the model
+// mispredicted, in which case the bounded reactive controller takes one
+// corrective step instead (planner proposes, controller corrects). The
+// decision is recorded as a KPlan event and in the planner counters.
+func (rt *RT) planStrip(sig stripSignals) {
+	c := &rt.ctl
+	cur := c.strip
+	proposal := rt.planPropose(sig)
+	next := proposal
+	if rt.planMispredicted(sig, proposal, cur) {
+		rt.st.PlanMispredicts++
+		next = controllerNext(cur, sig, int64(rt.Cfg.AggLimit))
+	}
+	rt.plan.overBudget = false
+	rt.setStrip(next)
+	rt.plan.planned = true
+	rt.st.PlanStrips++
+	if rt.trc != nil {
+		rt.trc.Event(obs.KPlan, rt.EP.Node.Now(), int64(c.strip), int64(c.loop))
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"testing"
+
+	"dpa/internal/gptr"
+	"dpa/internal/sim"
+)
+
+// plannerCfg returns a planner configuration starting from the given strip.
+func plannerCfg(strip int) Config {
+	cfg := Default()
+	cfg.Strip = strip
+	cfg.Planner = true
+	return cfg
+}
+
+func TestPlannerForAllRunsEveryIteration(t *testing.T) {
+	w := newWorld(4)
+	const n = 200
+	var ptrs []gptr.Ptr
+	for i := 0; i < n; i++ {
+		ptrs = append(ptrs, w.space.Alloc(i%4, obj{id: i}))
+	}
+	seen := make([]bool, n)
+	w.run(plannerCfg(10), func(rt *RT) {
+		rt.ForAll(n, func(i int) {
+			rt.Spawn(ptrs[i], func(o gptr.Object) { seen[o.(obj).id] = true })
+		})
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("iteration %d never ran", i)
+		}
+	}
+}
+
+func TestPlannerZeroRefetchesAcrossStrips(t *testing.T) {
+	// The same pointers recur across many strips. Static mode drops copies at
+	// every boundary and refetches; the planner pins each copy for its reuse
+	// region, so under the memory budget every repeat is a table hit and the
+	// refetch count is structurally zero — each object is fetched exactly
+	// once.
+	w := newWorld(2)
+	const n = 32
+	var ptrs []gptr.Ptr
+	for i := 0; i < n; i++ {
+		ptrs = append(ptrs, w.space.Alloc(1, obj{id: i}))
+	}
+	cfg := plannerCfg(8)
+	cfg.StripMax = 16 // force several strips per pass
+	st, _ := w.run(cfg, func(rt *RT) {
+		rt.ForAll(4*n, func(i int) {
+			rt.Spawn(ptrs[i%n], func(o gptr.Object) {})
+		})
+	})
+	if st.Refetches != 0 {
+		t.Fatalf("planned run refetched %d times, want 0: %+v", st.Refetches, st)
+	}
+	if st.Fetches != n {
+		t.Fatalf("planned run fetched %d objects, want exactly %d (once each)", st.Fetches, n)
+	}
+	if st.PlanStrips < 2 {
+		t.Fatalf("expected several planned strips, got %d", st.PlanStrips)
+	}
+}
+
+func TestPlannerFirstContactIsWholeLoop(t *testing.T) {
+	// With no reuse summary, the planner's first strip covers the whole loop
+	// (bounded by StripMax): first contact has zero warm-up strips.
+	w := newWorld(2)
+	const n = 100
+	var ptrs []gptr.Ptr
+	for i := 0; i < n; i++ {
+		ptrs = append(ptrs, w.space.Alloc(1, obj{id: i}))
+	}
+	st, _ := w.run(plannerCfg(10), func(rt *RT) {
+		rt.ForAll(n, func(i int) {
+			rt.Spawn(ptrs[i], func(o gptr.Object) {})
+		})
+	})
+	if st.PlanStrips != 1 {
+		t.Fatalf("first contact ran %d strips, want 1 (whole loop): %+v", st.PlanStrips, st)
+	}
+}
+
+func TestPlannerReleasesClosedRegionsUnderPressure(t *testing.T) {
+	// Two working sets that never overlap, with a budget that holds only one:
+	// at the boundary the planner must release exactly the closed regions
+	// (first set) — not the live ones — and never refetch.
+	w := newWorld(2)
+	const n = 8
+	var ptrs []gptr.Ptr
+	for i := 0; i < 2*n; i++ {
+		ptrs = append(ptrs, w.space.Alloc(1, obj{id: i, size: 1024}))
+	}
+	cfg := plannerCfg(n)
+	cfg.StripMin = 1
+	cfg.StripMax = n // one working set per strip
+	cfg.MemBudget = n * 1024
+	st, _ := w.run(cfg, func(rt *RT) {
+		rt.ForAll(2*n, func(i int) {
+			rt.Spawn(ptrs[i], func(o gptr.Object) {})
+		})
+	})
+	if st.RegionReleases == 0 {
+		t.Fatalf("no reuse regions released under memory pressure: %+v", st)
+	}
+	if st.Refetches != 0 {
+		t.Fatalf("releases broke reuse regions: %d refetches", st.Refetches)
+	}
+}
+
+func TestPlannerMispredictionFallsBackToController(t *testing.T) {
+	// A budget far smaller than any strip's fetch volume: the model's memory
+	// bound cannot hold, every planned strip overflows, and the bounded
+	// reactive controller must take over the corrections.
+	w := newWorld(2)
+	const n = 256
+	var ptrs []gptr.Ptr
+	for i := 0; i < n; i++ {
+		ptrs = append(ptrs, w.space.Alloc(1, obj{id: i, size: 4096}))
+	}
+	cfg := plannerCfg(64)
+	cfg.MemBudget = 8 << 10 // two objects
+	st, _ := w.run(cfg, func(rt *RT) {
+		rt.ForAll(n, func(i int) {
+			rt.Spawn(ptrs[i], func(o gptr.Object) {})
+		})
+	})
+	if st.PlanMispredicts == 0 {
+		t.Fatalf("overflowing strips were never flagged as mispredictions: %+v", st)
+	}
+	if st.StripShrinks == 0 {
+		t.Fatalf("controller never corrected the strip after misprediction: %+v", st)
+	}
+}
+
+func TestValidateRejectsBadPlannerConfigs(t *testing.T) {
+	bad := []Config{
+		func() Config { c := plannerCfg(50); c.LIFO = true; return c }(),
+		func() Config { c := plannerCfg(50); c.StripMin = 100; c.StripMax = 10; return c }(),
+		func() Config { c := plannerCfg(50); c.MemBudget = -1; return c }(),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	ok := plannerCfg(0)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected Strip=0 planner config: %v", err)
+	}
+}
+
+func TestPlannedDestLimit(t *testing.T) {
+	rt := &RT{adaptive: true, planner: true}
+	rt.Cfg = Default()
+	rt.Cfg.AggLimit = 16
+	rt.plan.curHist = make([]int32, 4)
+	rt.plan.prevHist = make([]int32, 4)
+	rt.ctl.strip = 100
+
+	// No prediction: batch maximally (the cap), never the fragmenting base.
+	if got := rt.destLimit(1); got != 128 {
+		t.Fatalf("cold plannedDestLimit = %d, want cap 128", got)
+	}
+
+	// A predicted volume inside the cap rides one batch.
+	rt.plan.prevIters = 100
+	rt.plan.prevHist[1] = 40
+	if got := rt.destLimit(1); got != 128 {
+		t.Fatalf("in-cap plannedDestLimit = %d, want cap 128", got)
+	}
+
+	// A heavy owner splits evenly under the cap: 300 predicted pointers over
+	// ceil(300/128)=3 batches of ceil(300/3)=100.
+	rt.plan.prevHist[1] = 300
+	if got := rt.destLimit(1); got != 100 {
+		t.Fatalf("heavy plannedDestLimit = %d, want 100", got)
+	}
+
+	// The histogram scales with the strip-size ratio: the same histogram at
+	// double the strip predicts double the volume (600 → 5 batches of 120).
+	rt.ctl.strip = 200
+	if got := rt.destLimit(1); got != 120 {
+		t.Fatalf("scaled plannedDestLimit = %d, want 120", got)
+	}
+}
+
+// TestPlanMispredictedCases pins the hand-off boundary between the model and
+// the reactive controller: exactly the outcomes that break a model promise —
+// a budget overflow (either flavor), a refetch, or an uncovered stall the
+// model would not fix — count as mispredictions; a first-contact strip and a
+// stall the model already proposes to outgrow do not.
+func TestPlanMispredictedCases(t *testing.T) {
+	rt := &RT{adaptive: true, planner: true}
+	rt.Cfg = Default()
+	stalled := stripSignals{iters: 10, fetches: 5, elapsed: 100, stall: 60}
+
+	rt.plan.planned = false
+	if rt.planMispredicted(stripSignals{peakOver: true}, 10, 50) {
+		t.Error("first-contact strip blamed on the model")
+	}
+	rt.plan.planned = true
+	if !rt.planMispredicted(stripSignals{peakOver: true}, 10, 50) {
+		t.Error("peak budget overflow not flagged")
+	}
+	rt.plan.overBudget = true
+	if !rt.planMispredicted(stripSignals{}, 10, 50) {
+		t.Error("live-region overflow not flagged")
+	}
+	rt.plan.overBudget = false
+	if !rt.planMispredicted(stripSignals{refetches: 1, fetches: 1, iters: 1}, 10, 50) {
+		t.Error("refetch not flagged: the exactly-once contract broke")
+	}
+	if !rt.planMispredicted(stalled, 50, 50) {
+		t.Error("stall-heavy strip with a non-growing proposal not flagged")
+	}
+	if rt.planMispredicted(stalled, 100, 50) {
+		t.Error("stall-heavy strip flagged even though the model proposes to grow past it")
+	}
+}
+
+func TestPlanProposeBounds(t *testing.T) {
+	rt := &RT{adaptive: true, planner: true}
+	rt.Cfg = Default()
+	rt.Cfg.AggLimit = 16
+	rt.initCtl()
+	rt.rttEwma = make([]sim.Time, 2)
+	rt.plan.rttPrior = 1000
+
+	// An all-reuse strip (no fetches) proposes the widest strip: boundaries
+	// are pure overhead when nothing is fetched.
+	if got := rt.planPropose(stripSignals{iters: 50}); got != rt.ctl.max {
+		t.Fatalf("all-reuse proposal = %d, want max %d", got, rt.ctl.max)
+	}
+
+	// Latency bound alone (no touched owners, so no batching bound):
+	// busyPerIter = 100, RTT prior 1000 → 2*1000/100+1 = 21 iterations to
+	// cover the round trip.
+	sig := stripSignals{iters: 10, fetches: 10, elapsed: 1000, stall: 0}
+	if got := rt.planPropose(sig); got != 21 {
+		t.Fatalf("latency-bound proposal = %d, want 21", got)
+	}
+
+	// Batching bound dominates when it asks for more: one owner at one fetch
+	// per iteration needs 16·4 = 64 iterations to fill its batch aggFills
+	// times, more than the 21 latency wants.
+	rt.plan.owners = 1
+	if got := rt.planPropose(sig); got != 64 {
+		t.Fatalf("batching-bound proposal = %d, want 64", got)
+	}
+
+	// Memory bound caps both: 1 KB fetched per iteration against a 4 KB
+	// budget headroom allows only 4 iterations.
+	rt.ctl.memBudget = 4 << 10
+	sig.fetchedBytes = 10 << 10 // 1 KB per iteration
+	if got := rt.planPropose(sig); got != 4 {
+		t.Fatalf("memory-bound proposal = %d, want 4", got)
+	}
+}

@@ -103,6 +103,7 @@ func (pl *pools) putEntry(e *dEntry) {
 	}
 	e.obj = nil
 	e.arrived = false
+	e.lastUse = 0
 	clear(e.waiters)
 	e.waiters = e.waiters[:0]
 	pl.entries = append(pl.entries, e)

@@ -76,6 +76,18 @@ func WithLIFO() SpecOption { return func(s *Spec) { s.Core.LIFO = true } }
 // reply scatter. The configured strip size becomes the starting point.
 func WithAdaptive() SpecOption { return func(s *Spec) { s.Core.Adaptive = true } }
 
+// WithPlanner enables DPA's predictive communication planner: at every strip
+// boundary a closed-form cost model — fed by the previous strip's reuse
+// summary (per-owner fetch histogram, round-trip estimates, byte volumes) —
+// chooses the next strip size and the per-destination aggregation limits
+// before the strip runs, and renamed copies are pinned for exactly their
+// reuse region instead of being dropped wholesale. The reactive controller's
+// machinery (owner-major scheduling, bounded strip limits) stays active
+// underneath: the planner proposes, and the bounded controller corrects only
+// when the model mispredicts. Implies the adaptive layer; mutually exclusive
+// with WithLIFO.
+func WithPlanner() SpecOption { return func(s *Spec) { s.Core.Planner = true } }
+
 // WithStripBounds sets the adaptive controller's strip-size bounds and
 // per-strip renamed-copy memory budget in bytes (zero keeps each default).
 func WithStripBounds(min, max int, memBudget int64) SpecOption {
@@ -139,6 +151,9 @@ func (s Spec) Validate() error {
 func (s Spec) String() string {
 	switch s.Kind {
 	case DPA:
+		if s.Core.Planner {
+			return fmt.Sprintf("DPA-P(%d)", s.Core.Strip)
+		}
 		if s.Core.Adaptive {
 			return fmt.Sprintf("DPA-A(%d)", s.Core.Strip)
 		}

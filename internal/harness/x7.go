@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"dpa/internal/driver"
+	"dpa/internal/em3d"
+	"dpa/internal/machine"
+	"dpa/internal/sim"
+	"dpa/internal/stats"
+)
+
+// X7: the predictive communication planner vs the reactive controller and
+// the static sweep. X6 showed the feedback controller converging to within a
+// few percent of the best hand-tuned strip — after paying warm-up strips at
+// the wrong size in every phase. The planner replaces the feedback loop with
+// a closed-form cost model over each strip's reuse summary (DESIGN.md §11):
+// strip size from the latency/batching/memory bounds, per-destination
+// aggregation limits from the owner histogram, and reuse-region pinning in
+// the D-table so every remote object is fetched exactly once per region.
+// The questions this experiment answers: does first contact cost anything
+// (it must not — the first strip is already model-chosen), are refetches
+// structurally zero, and does the planned full workload beat both the
+// adaptive steady state and the best static strip?
+
+func init() {
+	register(Experiment{ID: "X7", Title: "Predictive planner vs adaptive controller vs static sweep (extension)", Run: runX7})
+}
+
+// x7Strips is the static sweep both online modes are judged against.
+var x7Strips = []int{10, 25, 50, 100, 300}
+
+func runX7(s *Session) {
+	const nodes = 16
+	s.printf("Predictive planner vs the X6 sweep on %d nodes. Every phase is first\n", nodes)
+	s.printf("contact for the planner (phases build fresh runtimes), so there is no\n")
+	s.printf("steady state to hide behind: the planner's numbers ARE its cold-start\n")
+	s.printf("numbers. 'plans/mispredicts' counts model decisions and hand-offs to\n")
+	s.printf("the bounded controller; refetches must be exactly zero.\n\n")
+
+	apps := []struct {
+		name string
+		run  func(spec driver.Spec) stats.Run
+	}{
+		{"BH", func(spec driver.Spec) stats.Run { return s.BH(nodes, spec) }},
+		{"FMM", func(spec driver.Spec) stats.Run { return s.FMM(nodes, spec) }},
+		{"EM3D", func(spec driver.Spec) stats.Run {
+			r, _ := em3d.RunIters(machine.DefaultT3D(nodes), spec, em3d.DefaultParams(s.W.EM3DNodes), 4)
+			return r
+		}},
+	}
+
+	for _, app := range apps {
+		s.printf("%s\n", app.name)
+		s.printf("%-12s %12s %10s %10s %10s\n",
+			"runtime", "time", "fetches", "refetches", "reqmsgs")
+		row := func(spec driver.Spec) stats.Run {
+			r := app.run(spec)
+			s.printf("%-12s %10.2fms %10d %10d %10d\n",
+				spec, s.Sec(r)*1e3, r.RT.Fetches, r.RT.Refetches, r.RT.ReqMsgs)
+			return r
+		}
+		best := sim.Time(0)
+		for _, strip := range x7Strips {
+			r := row(driver.DPASpec(strip))
+			if best == 0 || r.Makespan < best {
+				best = r.Makespan
+			}
+		}
+		ar := row(driver.DPASpec(50, driver.WithAdaptive()))
+		pr := row(driver.DPASpec(50, driver.WithPlanner()))
+		s.printf("planner: %d plans, %d mispredicts, %d region releases, final strip %d\n",
+			pr.RT.PlanStrips, pr.RT.PlanMispredicts, pr.RT.RegionReleases, pr.RT.FinalStrip)
+		s.printf("planner vs best static %+.2f%%, vs adaptive %+.2f%%\n\n",
+			(float64(pr.Makespan)/float64(best)-1)*100,
+			(float64(pr.Makespan)/float64(ar.Makespan)-1)*100)
+	}
+}

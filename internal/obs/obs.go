@@ -71,6 +71,11 @@ const (
 	KRetransmit
 	// KBarrier is a completed barrier: Arg1 the barrier ordinal on this node.
 	KBarrier
+	// KPlan is a predictive planner strip decision: Arg1 the installed strip
+	// size, Arg2 the top-level loop index. Emitted alongside KAdapt (which
+	// fires only when the size actually changes) so planner runs record
+	// every boundary decision.
+	KPlan
 	// NumKinds is the number of event kinds.
 	NumKinds
 )
@@ -96,6 +101,8 @@ func (k Kind) String() string {
 		return "retransmit"
 	case KBarrier:
 		return "barrier"
+	case KPlan:
+		return "plan"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

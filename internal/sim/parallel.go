@@ -433,9 +433,13 @@ func (e *ParEngine) Run() (Time, error) {
 	}
 	e.workers = e.tuning.resolveWorkers(len(e.procs))
 	e.stealing = e.tuning.Steal.enabled()
+	// One slab for all shard structs (the cache-line pad in parShard keeps
+	// neighbors apart within it), pointers into the slab everywhere else.
+	shardSlab := make([]parShard, e.workers)
 	e.shards = make([]*parShard, e.workers)
-	for i := range e.shards {
-		e.shards[i] = &parShard{id: i}
+	for i := range shardSlab {
+		shardSlab[i].id = i
+		e.shards[i] = &shardSlab[i]
 	}
 	// Block partition: shard i owns procs [i*P/W, (i+1)*P/W) — neighboring
 	// node ids (which talk the most under owner-major layouts) share a
@@ -444,12 +448,48 @@ func (e *ParEngine) Run() (Time, error) {
 		p.shard = int32(i * e.workers / len(e.procs))
 		e.shards[p.shard].heap.push(p)
 	}
+	e.arenaShards()
 	e.done = make(chan runOutcome, 1)
 	e.openWindow(nil)
 	if <-e.done == runDeadlock {
 		return makespan(e.procs), &DeadlockError{Detail: describe(e.procs)}
 	}
 	return makespan(e.procs), nil
+}
+
+// ringSeed is the per-process mailbox ring capacity carved from each shard's
+// message slab at Run: room for one aggregation batch's worth of in-order
+// traffic before a ring falls back to growing on its own.
+const ringSeed = 16
+
+// arenaShards sizes every per-shard buffer the window turnover touches so the
+// steady state allocates nothing: the parked/lowered/run queues get capacity
+// for every process the shard owns (they are reset to length zero each
+// window, never beyond that bound), the seed scratch gets one slot per shard,
+// and each shard's processes have their mailbox rings carved out of one
+// per-shard message slab — one allocation per shard instead of one append
+// chain per process, with same-shard rings landing on adjacent cache lines
+// for the worker that polls them. The rings are reused across windows (a
+// drained ring resets into the same backing array); a ring that outgrows its
+// slab segment migrates to its own array via the ordinary append path, since
+// the three-index carve caps capacity at the segment. Processes with
+// pre-posted messages (setup traffic from before Run) keep their grown rings.
+func (e *ParEngine) arenaShards() {
+	for _, sh := range e.shards {
+		n := len(sh.heap)
+		sh.runq = make([]*Proc, 0, n)
+		sh.parked = make([]*Proc, 0, n)
+		sh.lowered = make([]*Proc, 0, n)
+		slab := make([]Message, n*ringSeed)
+		for i, p := range sh.heap {
+			if p.mailbox.size() == 0 {
+				off := i * ringSeed
+				p.mailbox.ring = slab[off:off : off+ringSeed]
+				p.mailbox.head = 0
+			}
+		}
+	}
+	e.seeds = make([]*Proc, 0, e.workers)
 }
 
 // Procs returns the engine's processes (for stats collection after Run).

@@ -192,6 +192,61 @@ func TestCrossWorkerMessagePathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestShardArenaWindowTurnoverZeroAllocs pins the shard-arena contract: with
+// multiple processes per shard, the full window machinery — parked fold, heap
+// push/pop, run-queue refill, seed selection, chain hand-off — runs out of
+// the slabs arenaShards carved at Run and allocates nothing in steady state.
+// Unlike the two-proc cross-worker test above, every shard here owns two
+// processes, so the per-shard queues actually cycle through non-trivial
+// lengths each window, and the mailbox rings live in the per-shard message
+// slab rather than per-process append-grown arrays.
+func TestShardArenaWindowTurnoverZeroAllocs(t *testing.T) {
+	const look = 10
+	const stop = -1
+	const pairs = 4 // 8 procs over 4 workers: 2 per shard
+	e := NewParallelTuned(look, Tuning{Workers: pairs})
+	var allocs float64
+	for i := 0; i < pairs; i++ {
+		i := i
+		echo := pairs + i // procs 0..3 ping, 4..7 echo; partners sit on different shards
+		e.Spawn(func(p *Proc) {
+			step := func() {
+				p.Post(echo, Message{Arrival: p.Now() + look, Handler: 1, Bytes: 8})
+				p.WaitMessage()
+			}
+			for r := 0; r < 8; r++ {
+				step() // warm the drain buffers and any overflow paths
+			}
+			if i == 0 {
+				allocs = testing.AllocsPerRun(100, step)
+			} else {
+				for r := 0; r < 150; r++ { // keep every shard busy past the measurement
+					step()
+				}
+			}
+			p.Post(echo, Message{Arrival: p.Now() + look, Handler: stop})
+		})
+	}
+	for i := 0; i < pairs; i++ {
+		e.Spawn(func(p *Proc) {
+			for {
+				for _, m := range p.WaitMessage() {
+					if m.Handler == stop {
+						return
+					}
+					p.Post(m.From, Message{Arrival: p.Now() + look, Handler: 2, Bytes: 8})
+				}
+			}
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("window turnover allocates %.1f objects per round in steady state, want 0", allocs)
+	}
+}
+
 // TestTuningValidate covers the typed rejection of bad engine tuning.
 func TestTuningValidate(t *testing.T) {
 	cases := []struct {

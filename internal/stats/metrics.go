@@ -64,6 +64,12 @@ func (r *Run) MetricsInto(reg *obs.Registry, phase string) {
 		Add(r.RT.StripGrows, lbl()...)
 	reg.Counter("dpa_strip_shrinks_total", "Adaptive strip-size decreases.").
 		Add(r.RT.StripShrinks, lbl()...)
+	reg.Counter("dpa_plan_strips_total", "Predictive planner strip decisions.").
+		Add(r.RT.PlanStrips, lbl()...)
+	reg.Counter("dpa_plan_mispredicts_total", "Planner decisions corrected by the reactive controller.").
+		Add(r.RT.PlanMispredicts, lbl()...)
+	reg.Counter("dpa_region_releases_total", "Renamed copies released at reuse-region close.").
+		Add(r.RT.RegionReleases, lbl()...)
 
 	flt := reg.Counter("dpa_faults_injected_total", "Faults injected, by fault kind.")
 	flt.Add(r.Faults.Dropped, lbl(obs.L("kind", "drop"))...)

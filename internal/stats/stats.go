@@ -111,6 +111,16 @@ type RTStats struct {
 	// FinalStrip is the strip size the adaptive controller converged to
 	// (max over nodes; zero for static runs).
 	FinalStrip int64
+	// PlanStrips counts strip-boundary decisions made by the predictive
+	// planner; PlanMispredicts counts the subset where the model's promise
+	// failed and the bounded reactive controller corrected instead. Zero
+	// outside planner mode.
+	PlanStrips      int64
+	PlanMispredicts int64
+	// RegionReleases counts renamed copies released because their reuse
+	// region closed (planner mode's targeted alternative to the wholesale
+	// end-of-strip drop).
+	RegionReleases int64
 }
 
 // merge combines counters from another node or phase.
@@ -125,6 +135,9 @@ func (r *RTStats) merge(o RTStats) {
 	r.Refetches += o.Refetches
 	r.StripGrows += o.StripGrows
 	r.StripShrinks += o.StripShrinks
+	r.PlanStrips += o.PlanStrips
+	r.PlanMispredicts += o.PlanMispredicts
+	r.RegionReleases += o.RegionReleases
 	if o.FinalStrip > r.FinalStrip {
 		r.FinalStrip = o.FinalStrip
 	}
@@ -467,6 +480,10 @@ func (r *Run) Table(clockHz float64) string {
 	if rt.FinalStrip > 0 {
 		fmt.Fprintf(&b, "adaptive  strip %s final %d (%d grows, %d shrinks), %d refetches\n",
 			adaptTrace(r.Adapt), rt.FinalStrip, rt.StripGrows, rt.StripShrinks, rt.Refetches)
+	}
+	if rt.PlanStrips > 0 {
+		fmt.Fprintf(&b, "planner   %d strips planned, %d mispredicted, %d region releases\n",
+			rt.PlanStrips, rt.PlanMispredicts, rt.RegionReleases)
 	}
 	if f := r.Faults; f.Any() {
 		fmt.Fprintf(&b, "faults    %d dropped, %d duplicated, %d jittered, %d stalls\n",

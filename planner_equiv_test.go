@@ -1,0 +1,65 @@
+package dpa
+
+// Planner determinism: every decision of the predictive communication
+// planner — strip sizes from the cost model, per-destination aggregation
+// limits from the owner histogram, reuse-region releases — is a pure
+// function of simulated-time state, so planned runs must be bit-identical
+// across engines, worker counts, repeats, and seeded fault injection, just
+// like the reactive adaptive layer (adaptive_equiv_test.go).
+
+import (
+	"testing"
+
+	"dpa/internal/bh"
+	"dpa/internal/em3d"
+	"dpa/internal/nbody"
+)
+
+func TestPlannerDeterminismEM3D(t *testing.T) {
+	prm := em3d.DefaultParams(160)
+	spec := DPASpec(8, WithPlanner())
+	for _, faults := range []bool{false, true} {
+		name := "fault-free"
+		if faults {
+			name = "5% loss"
+		}
+		r := adaptiveRuns(t, name, faults, func(mcfg MachineConfig) RunStats {
+			run, _ := em3d.RunIters(mcfg, spec, prm, 2)
+			return run
+		})
+		if r.RT.PlanStrips == 0 {
+			t.Errorf("%s: planner never ran (PlanStrips=0): %+v", name, r.RT)
+		}
+		if !faults && r.RT.Refetches != 0 {
+			t.Errorf("%s: planned run refetched %d objects, want 0", name, r.RT.Refetches)
+		}
+		if faults && (r.Faults.Dropped == 0 || r.Faults.Retransmits == 0) {
+			t.Errorf("fault counters inactive: %+v", r.Faults)
+		}
+	}
+}
+
+func TestPlannerDeterminismBarnesHut(t *testing.T) {
+	bodies := nbody.Plummer(256, 42)
+	p := bh.DefaultParams()
+	spec := DPASpec(8, WithPlanner())
+	r := adaptiveRuns(t, "fault-free", false, func(mcfg MachineConfig) RunStats {
+		return bh.RunSteps(mcfg, spec, bodies, 1, p)
+	})
+	if r.RT.Refetches != 0 {
+		t.Errorf("planned run refetched %d objects, want 0", r.RT.Refetches)
+	}
+}
+
+// TestPlannerOffBitIdentical pins the compatibility contract: a spec without
+// WithPlanner must produce exactly the run it produced before the planner
+// existed — every planner code path is gated on the option.
+func TestPlannerOffBitIdentical(t *testing.T) {
+	prm := em3d.DefaultParams(160)
+	for _, spec := range []Spec{DPASpec(8), DPASpec(8, WithAdaptive())} {
+		r, _ := em3d.RunIters(DefaultT3D(4), spec, prm, 2)
+		if r.RT.PlanStrips != 0 || r.RT.PlanMispredicts != 0 || r.RT.RegionReleases != 0 {
+			t.Errorf("%v: planner counters moved without WithPlanner: %+v", spec, r.RT)
+		}
+	}
+}
