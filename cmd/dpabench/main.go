@@ -19,9 +19,17 @@
 // Deterministic fault injection is enabled with -faults (or any nonzero
 // fault rate): -drop-rate and -dup-rate lose and duplicate messages (the
 // reliability protocol recovers them), -jitter-rate/-max-jitter delay
-// deliveries, and -stall-rate/-stall-cycles freeze nodes transiently. The
-// schedule is a pure function of -fault-seed and each sender's program
+// deliveries, -stall-rate/-stall-cycles freeze nodes transiently, and
+// -crash-rate/-crash-at kill a deterministic subset of nodes permanently
+// mid-phase (survivors degrade around them; the run's error wraps the crash).
+// The schedule is a pure function of -fault-seed and each sender's program
 // order, so the same flags reproduce the same faulty run on both engines.
+//
+// Checkpoint/restore: -checkpoint-at T captures a versioned snapshot of the
+// complete run state at cumulative virtual time T (written to a file with
+// -checkpoint-out); -restore FILE re-runs the same configuration and proves
+// the stored state is reproduced bit for bit at the boundary. Both print an
+// engine-independent summary line on stdout.
 //
 // Observability: -trace prints a per-node activity Gantt chart (bin width
 // set by -tracebins); -traceout FILE exports a Chrome trace_event JSON file
@@ -88,7 +96,12 @@ func main() {
 	maxJitter := flag.Int64("max-jitter", 0, "maximum extra delivery delay in cycles")
 	stallRate := flag.Float64("stall-rate", 0, "transient node-stall probability per poll/wait (implies -faults)")
 	stallCycles := flag.Int64("stall-cycles", 0, "duration of one injected stall in cycles")
+	crashRate := flag.Float64("crash-rate", 0, "permanent node-crash probability, drawn once per node (implies -faults; requires -crash-at)")
+	crashAt := flag.Int64("crash-at", 0, "per-phase virtual time at or after which doomed nodes crash")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-schedule seed")
+	checkpointAt := flag.Int64("checkpoint-at", 0, "capture a deterministic snapshot at this cumulative virtual time (cycles)")
+	checkpointOut := flag.String("checkpoint-out", "", "write the captured snapshot to this file (requires -checkpoint-at)")
+	restorePath := flag.String("restore", "", "verify a snapshot file: re-run deterministically and compare state at its boundary")
 	trace := flag.Bool("trace", false, "print a per-node activity Gantt chart")
 	traceBins := flag.Int64("tracebins", 50_000, "timeline bin width in cycles for -trace")
 	traceOut := flag.String("traceout", "", "write a Chrome trace_event JSON trace to this file")
@@ -165,7 +178,11 @@ func main() {
 		tracer = obs.NewTracer(*nodes, 0)
 		mcfg.Obs = tracer
 	}
-	if *faults || *dropRate > 0 || *dupRate > 0 || *jitterRate > 0 || *stallRate > 0 {
+	if *crashRate > 0 && *crashAt <= 0 {
+		fmt.Fprintf(os.Stderr, "dpabench: -crash-rate requires -crash-at > 0\n")
+		os.Exit(1)
+	}
+	if *faults || *dropRate > 0 || *dupRate > 0 || *jitterRate > 0 || *stallRate > 0 || *crashRate > 0 {
 		mcfg.Faults = machine.FaultConfig{
 			FaultParams: sim.FaultParams{
 				Seed:        *faultSeed,
@@ -175,6 +192,8 @@ func main() {
 				MaxJitter:   sim.Time(*maxJitter),
 				StallRate:   *stallRate,
 				StallCycles: sim.Time(*stallCycles),
+				CrashRate:   *crashRate,
+				CrashAt:     sim.Time(*crashAt),
 			},
 			Reliable: true,
 		}
@@ -182,6 +201,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	// Checkpoint/restore: capture arms a snapshot at a cumulative virtual
+	// time; restore re-executes the same configuration deterministically and
+	// verifies the state at the stored boundary bit for bit.
+	var ckSpec *machine.CheckpointSpec
+	var ckSnap *sim.Snapshot
+	var ckErr error
+	ckDeliver := func(s *sim.Snapshot, err error) { ckSnap, ckErr = s, err }
+	switch {
+	case *restorePath != "" && *checkpointAt > 0:
+		fmt.Fprintf(os.Stderr, "dpabench: -restore and -checkpoint-at are mutually exclusive\n")
+		os.Exit(1)
+	case *checkpointOut != "" && *checkpointAt <= 0:
+		fmt.Fprintf(os.Stderr, "dpabench: -checkpoint-out requires -checkpoint-at\n")
+		os.Exit(1)
+	case *restorePath != "":
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+			os.Exit(1)
+		}
+		snap, err := sim.Restore(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+			os.Exit(1)
+		}
+		ckSpec = &machine.CheckpointSpec{Verify: snap, Deliver: ckDeliver}
+	case *checkpointAt > 0:
+		ckSpec = &machine.CheckpointSpec{At: sim.Time(*checkpointAt), Deliver: ckDeliver}
+	}
+	if ckSpec != nil {
+		mcfg.Checkpoint = ckSpec
 	}
 	var runWith func(machine.Config, driver.Spec) stats.Run
 	switch *app {
@@ -210,6 +261,10 @@ func main() {
 	}
 	runOnce := func(cfg machine.Config) stats.Run { return runWith(cfg, spec) }
 
+	if ckSpec != nil && (*strips != "" || *jsonOut) {
+		fmt.Fprintf(os.Stderr, "dpabench: checkpoint/restore is a single-run mode (no -strips, no -json)\n")
+		os.Exit(1)
+	}
 	if *strips != "" {
 		stripSweep(mcfg, runWith, *strips, *agg, !*noPipe, *app, *nodes)
 		return
@@ -226,6 +281,30 @@ func main() {
 		// Host-scheduler counters depend on host timing, so they go to
 		// stderr: stdout must stay bit-identical across engines.
 		fmt.Fprintf(os.Stderr, "host sched: %s\n", run.Host)
+	}
+	if ckSpec != nil {
+		if !ckSpec.Done() {
+			fmt.Fprintf(os.Stderr, "dpabench: checkpoint boundary lies beyond the run's end\n")
+			os.Exit(1)
+		}
+		if ckErr != nil {
+			fmt.Fprintf(os.Stderr, "dpabench: %v\n", ckErr)
+			os.Exit(1)
+		}
+		data := ckSnap.Encode()
+		// The snapshot is bit-identical across engines, so its summary is
+		// part of the diffable stdout.
+		fmt.Printf("checkpoint: boundary=%d phase=%d sections=%d bytes=%d\n",
+			ckSnap.Meta.Boundary, ckSnap.Meta.Phase, len(ckSnap.Sections), len(data))
+		if *restorePath != "" {
+			fmt.Printf("restore: verified bit-identical at the boundary\n")
+		}
+		if *checkpointOut != "" {
+			if err := os.WriteFile(*checkpointOut, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *trace && run.Timeline != nil {
 		fmt.Printf("\nactivity timeline (#=local +=comm .=idle), one row per node:\n")

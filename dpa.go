@@ -166,6 +166,49 @@ func WithTracer(t *Tracer) RunOption { return driver.WithTracer(t) }
 // exhausted its retransmission budget to a peer; test with errors.Is.
 var ErrUnreachable = fm.ErrUnreachable
 
+// ErrCrashed is the sentinel error wrapped by every *CrashError; test with
+// errors.Is. A run whose Err wraps it completed with partial results: the
+// crashed nodes' contributions are missing and the surviving nodes' barriers
+// and reductions shrank to the live set.
+var ErrCrashed = machine.ErrCrashed
+
+// CrashError reports one node's permanent crash (scheduled by the fault
+// plan's CrashRate/CrashAt) on the run's error chain.
+type CrashError = machine.CrashError
+
+// Checkpoint and snapshot types.
+type (
+	// Snapshot is a captured run state at a virtual-time boundary:
+	// versioned metadata plus named binary sections covering engine,
+	// machine, messaging, and runtime state.
+	Snapshot = sim.Snapshot
+	// SnapshotMeta identifies when in a run a snapshot was captured.
+	SnapshotMeta = sim.SnapshotMeta
+	// CheckpointSpec arms a checkpoint (or restore verification) across the
+	// phases of a run; pass it to RunPhase via WithCheckpoint.
+	CheckpointSpec = machine.CheckpointSpec
+)
+
+// ErrBadSnapshot is the sentinel matched by errors.Is when snapshot bytes
+// fail to decode (truncation, corruption, version mismatch).
+var ErrBadSnapshot = sim.ErrBadSnapshot
+
+// ErrSnapshotDiverged is the sentinel matched by errors.Is when a restored
+// run's re-captured state does not match the snapshot it was restored from.
+var ErrSnapshotDiverged = sim.ErrSnapshotDiverged
+
+// RestoreSnapshot decodes snapshot bytes produced by Snapshot.Encode,
+// verifying magic, version, structure, and checksum. Corrupt input returns
+// an error wrapping ErrBadSnapshot; it never panics and never returns a
+// partially decoded snapshot.
+func RestoreSnapshot(data []byte) (*Snapshot, error) { return sim.Restore(data) }
+
+// WithCheckpoint arms a deterministic checkpoint (or, when spec.Verify is
+// set, a restore verification) on the phase; see driver.WithCheckpoint. The
+// same spec may ride every phase of a multi-phase run: the capture fires in
+// whichever phase the cumulative boundary time falls.
+func WithCheckpoint(spec *CheckpointSpec) RunOption { return driver.WithCheckpoint(spec) }
+
 // Nil is the null global pointer.
 var Nil = gptr.Nil
 

@@ -187,6 +187,9 @@ func (rt *RT) fetch(p gptr.Ptr) (gptr.Object, bool) {
 			}
 			return nil, false
 		}
+		// The owner may have crashed after acking the request; keep
+		// detection traffic flowing (no-op outside crash fault mode).
+		rt.EP.ProbeOwner(dst)
 		rt.EP.WaitAndDispatch()
 	}
 	rt.replyOK = false

@@ -276,6 +276,13 @@ func (rt *RT) Drain() {
 			if rt.abandonUnreachable() {
 				continue
 			}
+			// Keep detection traffic flowing toward owners that may have
+			// crashed after acking our requests (no-op outside crash mode).
+			for dst, n := range rt.pendingByDest {
+				if n > 0 {
+					rt.EP.ProbeOwner(dst)
+				}
+			}
 			rt.EP.WaitAndDispatch()
 			continue
 		}

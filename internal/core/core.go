@@ -600,6 +600,14 @@ func (rt *RT) Drain() {
 			if rt.abandonUnreachable() {
 				continue
 			}
+			// An owner that crashed after acking our requests will never
+			// reply; keep detection traffic flowing so the wait below stays
+			// deadline-bounded (no-op outside crash fault mode).
+			for dst, n := range rt.pendingByDest {
+				if n > 0 {
+					rt.EP.ProbeOwner(dst)
+				}
+			}
 			rt.EP.WaitAndDispatch()
 			continue
 		}

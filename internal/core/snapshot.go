@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sort"
+
+	"dpa/internal/gptr"
+	"dpa/internal/sim"
+)
+
+// SnapshotFingerprint folds the request's pointer list (order matters: the
+// owner extracts in list order, which decides reply layout and charges).
+func (rq *fetchReq) SnapshotFingerprint() uint64 {
+	h := uint64(0x66726571) // "freq"
+	for _, p := range rq.ptrs {
+		h = sim.MixFP(h, p.Key())
+	}
+	return sim.MixFP(h, uint64(len(rq.ptrs)))
+}
+
+// SnapshotFingerprint folds the reply's pointers and modeled object sizes.
+func (rp *fetchReply) SnapshotFingerprint() uint64 {
+	h := uint64(0x6672706c) // "frpl"
+	for i, p := range rp.ptrs {
+		h = sim.MixFP(h, p.Key())
+		h = sim.MixFP(h, uint64(rp.objs[i].ByteSize()))
+	}
+	return sim.MixFP(h, uint64(len(rp.ptrs)))
+}
+
+// EncodeSnapshot writes the runtime's complete deterministic state: the
+// fused M/D table (sorted by pointer key — map iteration order must not leak
+// into the encoding), aggregation buffers in FIFO order, ready queues,
+// controller and planner state, and the per-phase statistics counters.
+// Thread closures are not serializable; a suspended thread is represented by
+// its count on the table entry (restore is by deterministic re-execution, so
+// the encoding only has to witness equality, not rebuild closures).
+func (rt *RT) EncodeSnapshot(w *sim.SnapWriter) {
+	w.Int(rt.EP.Node.ID())
+	w.Int(rt.waiting)
+	w.Int(rt.aggCount)
+	w.Int(rt.pendingReplies)
+	w.I64(rt.arrivedBytes)
+	if rt.err != nil {
+		w.Bool(true)
+		w.U64(sim.StringFP(rt.err.Error()))
+	} else {
+		w.Bool(false)
+	}
+
+	// Fused M/D table, canonical order.
+	ptrs := make([]gptr.Ptr, 0, len(rt.table))
+	for p := range rt.table {
+		ptrs = append(ptrs, p)
+	}
+	sort.Slice(ptrs, func(a, b int) bool { return ptrs[a].Key() < ptrs[b].Key() })
+	w.Int(len(ptrs))
+	for _, p := range ptrs {
+		e := rt.table[p]
+		w.U64(p.Key())
+		w.Bool(e.arrived)
+		w.U32(uint32(e.lastUse))
+		w.Int(len(e.waiters))
+		if e.obj != nil {
+			w.Int(e.obj.ByteSize())
+		} else {
+			w.Int(-1)
+		}
+	}
+
+	// Aggregation buffers (append order is program order).
+	w.Int(len(rt.agg))
+	for _, buf := range rt.agg {
+		w.Int(len(buf))
+		h := uint64(len(buf))
+		for _, p := range buf {
+			h = sim.MixFP(h, p.Key())
+		}
+		w.U64(h)
+	}
+	w.Int(len(rt.aggDests))
+	for _, d := range rt.aggDests {
+		w.Int(d)
+	}
+	for _, n := range rt.pendingByDest {
+		w.Int(n)
+	}
+
+	// Seen set, canonical order folded to a digest (it can be large).
+	seen := make([]uint64, 0, len(rt.seen))
+	for p := range rt.seen {
+		seen = append(seen, p.Key())
+	}
+	sort.Slice(seen, func(a, b int) bool { return seen[a] < seen[b] })
+	h := uint64(len(seen))
+	for _, k := range seen {
+		h = sim.MixFP(h, k)
+	}
+	w.Int(len(seen))
+	w.U64(h)
+
+	// Ready queues: entry identity is the object key (closures re-form on
+	// replay); order matters, so fold in queue order.
+	w.Int(rt.ready.len())
+	h = uint64(rt.ready.len())
+	for i := rt.ready.head; i < len(rt.ready.items); i++ {
+		h = sim.MixFP(h, rt.ready.items[i].key)
+	}
+	w.U64(h)
+	w.Int(rt.oq.len())
+	h = uint64(rt.oq.len())
+	for i := rt.oq.oHead; i < len(rt.oq.order); i++ {
+		owner := rt.oq.order[i]
+		l := &rt.oq.lists[owner]
+		h = sim.MixFP(h, uint64(owner))
+		for j := l.head; j < len(l.items); j++ {
+			h = sim.MixFP(h, l.items[j].key)
+		}
+	}
+	w.U64(h)
+
+	// Adaptive controller / planner state.
+	w.Bool(rt.adaptive)
+	w.Bool(rt.planner)
+	c := &rt.ctl
+	w.Int(c.strip)
+	w.Int(c.min)
+	w.Int(c.max)
+	w.I64(c.memBudget)
+	w.U32(uint32(c.loop))
+	w.I64(c.baseFetches)
+	w.I64(c.baseRefetches)
+	w.I64(c.baseReqMsgs)
+	w.I64(c.baseArrived)
+	w.Time(c.baseStall)
+	w.Time(c.baseNow)
+	w.I64(c.stripPeak)
+	ps := &rt.plan
+	w.U32(uint32(ps.stripIdx))
+	w.Bool(ps.planned)
+	w.Bool(ps.overBudget)
+	w.Int(len(ps.curHist))
+	for i := range ps.curHist {
+		w.U32(uint32(ps.curHist[i]))
+		w.U32(uint32(ps.prevHist[i]))
+	}
+	w.Int(ps.prevIters)
+	w.Int(ps.lastIters)
+	w.Int(ps.owners)
+	w.Time(ps.rttPrior)
+	w.Int(len(rt.rttEwma))
+	for i := range rt.rttEwma {
+		w.Time(rt.rttEwma[i])
+		w.Time(rt.rttSentAt[i])
+		w.Bool(rt.rttMark[i])
+	}
+	w.Time(rt.gapEwma)
+	w.Time(rt.lastEnq)
+	w.Int(len(rt.trace))
+	for _, pt := range rt.trace {
+		w.U32(uint32(pt.Loop))
+		w.U32(uint32(pt.Strip))
+	}
+
+	// Per-phase statistics counters.
+	st := &rt.st
+	w.I64(st.ThreadsRun)
+	w.I64(st.Spawns)
+	w.I64(st.LocalHits)
+	w.I64(st.Reuses)
+	w.I64(st.Fetches)
+	w.I64(st.ReqMsgs)
+	w.I64(st.PeakOutstanding)
+	w.I64(st.PeakArrivedBytes)
+	w.I64(st.Abandoned)
+	w.I64(st.Refetches)
+	w.I64(st.StripGrows)
+	w.I64(st.StripShrinks)
+	w.I64(st.FinalStrip)
+	w.I64(st.PlanStrips)
+	w.I64(st.PlanMispredicts)
+	w.I64(st.RegionReleases)
+}

@@ -305,14 +305,15 @@ func (e Engine) String() string {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	engine    sim.EngineKind
-	tuning    sim.Tuning
-	engineSet bool
-	traceBins sim.Time
-	obs       *obs.Tracer
-	validate  bool
-	faults    machine.FaultConfig
-	faultsSet bool
+	engine     sim.EngineKind
+	tuning     sim.Tuning
+	engineSet  bool
+	traceBins  sim.Time
+	obs        *obs.Tracer
+	validate   bool
+	faults     machine.FaultConfig
+	faultsSet  bool
+	checkpoint *machine.CheckpointSpec
 }
 
 // WithEngineValue selects the engine driving the phase as a first-class
@@ -368,6 +369,21 @@ func WithFaults(fc machine.FaultConfig) RunOption {
 	return func(rc *runConfig) { rc.faults = fc; rc.faultsSet = true }
 }
 
+// WithCheckpoint arms a deterministic checkpoint (or, when spec.Verify is
+// set, a restore verification) on the phase. The spec is a cross-phase
+// cursor: pass the same spec to every phase of a multi-phase run and the
+// boundary fires in whichever phase spec.At (cumulative virtual time) falls.
+// At the boundary — the first scheduling decision at which every simulated
+// process's next event is at or beyond the target time — the driver captures
+// engine, machine, fm, and runtime state into a sim.Snapshot and hands it to
+// spec.Deliver. In verify mode the re-capture is diffed against spec.Verify
+// and a *sim.SnapshotDivergedError is both delivered and recorded on the
+// run's error chain. Not composable with WithValidation: the cross-engine
+// check run executes without the checkpoint so Deliver fires exactly once.
+func WithCheckpoint(spec *machine.CheckpointSpec) RunOption {
+	return func(rc *runConfig) { rc.checkpoint = spec }
+}
+
 // RunPhase executes one SPMD phase: body runs on every node with its
 // runtime; a barrier closes the phase (nodes keep serving until everyone is
 // done). The returned Run has per-node breakdowns and merged runtime
@@ -393,6 +409,9 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 	if rc.faultsSet {
 		mcfg.Faults = rc.faults
 	}
+	if rc.checkpoint != nil {
+		mcfg.Checkpoint = rc.checkpoint
+	}
 	if err := spec.Validate(); err != nil {
 		panic("driver: invalid spec: " + err.Error())
 	}
@@ -401,7 +420,9 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 		other := mcfg
 		// The check run must not re-record into the caller's tracer: it
 		// would duplicate every event and advance the phase offset twice.
+		// Likewise it must not re-fire the checkpoint: Deliver is one-shot.
 		other.Obs = nil
+		other.Checkpoint = nil
 		if mcfg.Engine == sim.Parallel {
 			other.Engine = sim.Sequential
 		} else {
@@ -424,10 +445,26 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 	body func(rt Runtime, ep *fm.EP, nd *machine.Node)) stats.Run {
 
+	ck := mcfg.Checkpoint
 	protos := NewProtos()
 	m := machine.New(mcfg)
 	rts := make([]Runtime, mcfg.Nodes)
 	eps := make([]*fm.EP, mcfg.Nodes)
+	var ckErr error
+	if at, ok := ck.Target(); ok {
+		m.CheckpointAt(at, func() {
+			snap := captureSnapshot(ck, m, rts, eps)
+			if ck.Verify != nil {
+				if d := ck.Verify.Diff(snap); d != "" {
+					ckErr = &sim.SnapshotDivergedError{Detail: d}
+				}
+			}
+			ck.MarkDone()
+			if ck.Deliver != nil {
+				ck.Deliver(snap, ckErr)
+			}
+		})
+	}
 	makespan, engErr := m.Run(func(nd *machine.Node) {
 		ep := fm.NewEP(protos.Net, nd)
 		rt, err := protos.NewRuntime(spec, ep, space)
@@ -448,8 +485,17 @@ func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 		// is surfaced through the run result instead.
 		panic(engErr)
 	}
+	ck.Advance(makespan)
 	run := stats.Collect(m, makespan)
 	run.AddErr(engErr)
+	run.AddErr(ckErr)
+	// Crashed nodes surface as typed partial-result errors, in node order so
+	// the joined error string is deterministic.
+	for _, nd := range m.Nodes() {
+		if nd.Crashed {
+			run.AddErr(&machine.CrashError{Node: nd.ID(), At: nd.CrashedAt})
+		}
+	}
 	for _, rt := range rts {
 		if rt == nil {
 			continue // node never reached its body (deadlocked machine)
@@ -472,4 +518,53 @@ func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 		run.AddErr(ep.Err())
 	}
 	return run
+}
+
+// snapshotter is the optional per-runtime state encoder; runtimes that
+// implement it contribute an entry to the snapshot's "rt" section.
+type snapshotter interface {
+	EncodeSnapshot(w *sim.SnapWriter)
+}
+
+// captureSnapshot serializes the run's complete state at a checkpoint
+// boundary: engine scheduling state ("procs"), machine-level node state
+// ("machine"), the messaging layer including reliability windows ("fm"), and
+// runtime tables ("rt"). It runs inside the engine's checkpoint hook, when
+// every simulated process is parked, so all state is quiescent.
+func captureSnapshot(ck *machine.CheckpointSpec, m *machine.Machine,
+	rts []Runtime, eps []*fm.EP) *sim.Snapshot {
+
+	snap := &sim.Snapshot{Version: sim.SnapshotVersion, Meta: ck.Meta(len(eps))}
+	snap.Add("procs", m.SnapshotProcs)
+	snap.Add("machine", func(w *sim.SnapWriter) {
+		nodes := m.Nodes()
+		w.Int(len(nodes))
+		for _, nd := range nodes {
+			nd.EncodeSnapshot(w)
+		}
+	})
+	snap.Add("fm", func(w *sim.SnapWriter) {
+		w.Int(len(eps))
+		for _, ep := range eps {
+			if ep == nil {
+				w.Bool(false)
+				continue
+			}
+			w.Bool(true)
+			ep.EncodeSnapshot(w)
+		}
+	})
+	snap.Add("rt", func(w *sim.SnapWriter) {
+		w.Int(len(rts))
+		for _, rt := range rts {
+			enc, ok := rt.(snapshotter)
+			if !ok {
+				w.Bool(false)
+				continue
+			}
+			w.Bool(true)
+			enc.EncodeSnapshot(w)
+		}
+	})
+	return snap
 }

@@ -1,0 +1,211 @@
+package fm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dpa/internal/machine"
+	"dpa/internal/sim"
+)
+
+// findCrashSeed searches for a fault seed under which exactly the nodes in
+// doomed are scheduled to crash at the given rate. The crash fate is a pure
+// function of (seed, node id) — never of run history — so the search is
+// deterministic, cheap, and valid for the run that follows.
+func findCrashSeed(t *testing.T, nodes int, rate float64, at sim.Time, doomed map[int]bool) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed < 4096; seed++ {
+		plan := sim.NewFaultPlan(sim.FaultParams{Seed: seed, CrashRate: rate, CrashAt: at})
+		ok := true
+		for n := 0; n < nodes; n++ {
+			if _, d := plan.CrashTime(n); d != doomed[n] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return seed
+		}
+	}
+	t.Fatal("no seed dooms exactly the requested nodes")
+	return 0
+}
+
+// TestCrashedDestinationShutdown: a destination dies permanently mid-phase
+// while the sender streams reliable frames at it. The retry cap must detect
+// the death (a typed *UnreachableError carrying exactly RelMaxRetries
+// attempts and the discarded frame count), and a double Quiesce must return
+// immediately with nothing retained — no inflight frames, no backlog — so a
+// phase shutdown after a crash leaks no protocol state. Both engines run the
+// same schedule and must agree on every captured value.
+func TestCrashedDestinationShutdown(t *testing.T) {
+	const crashAt = sim.Time(20000)
+	const retries = 3
+	seed := findCrashSeed(t, 2, 0.5, crashAt, map[int]bool{1: true})
+
+	type result struct {
+		fs        FaultStats
+		errStr    string
+		attempts  int
+		lost      int
+		crashedAt sim.Time
+	}
+	run := func(t *testing.T, engine sim.EngineKind) result {
+		cfg := machine.DefaultT3D(2)
+		cfg.Engine = engine
+		cfg.Faults = machine.FaultConfig{
+			FaultParams:   sim.FaultParams{Seed: seed, CrashRate: 0.5, CrashAt: crashAt},
+			Reliable:      true,
+			RelRTO:        2048,
+			RelMaxRetries: retries,
+		}
+		net := NewNet()
+		h := net.Register(func(ep *EP, m sim.Message) {})
+		m := machine.New(cfg)
+		var res result
+		if _, err := m.Run(func(nd *machine.Node) {
+			ep := NewEP(net, nd)
+			if nd.ID() == 1 {
+				for { // serve until the scheduled crash unwinds the node
+					ep.WaitAndDispatch()
+				}
+			}
+			for !ep.Unreachable(1) {
+				ep.Send(1, h, nil, 8)
+				ep.WaitAndDispatch()
+			}
+			ep.Quiesce()
+			ep.Quiesce() // second pass must be a no-op on the dead queues
+			r := ep.rel
+			if r.live != 0 {
+				t.Errorf("%d unacked frames survive Quiesce after crash", r.live)
+			}
+			d := &r.dest[1]
+			if len(d.inflight) != 0 || len(d.backlog) != 0 {
+				t.Errorf("dead destination retains %d inflight + %d backlog frames",
+					len(d.inflight), len(d.backlog))
+			}
+			if !d.dead || r.deadCount != 1 {
+				t.Errorf("destination not marked dead (dead=%v deadCount=%d)", d.dead, r.deadCount)
+			}
+			err := ep.Err()
+			if !errors.Is(err, ErrUnreachable) {
+				t.Errorf("error %v does not wrap ErrUnreachable", err)
+			}
+			var ue *UnreachableError
+			if !errors.As(err, &ue) {
+				t.Errorf("error %v is not *UnreachableError", err)
+			} else {
+				res.attempts, res.lost = ue.Attempts, ue.Lost
+			}
+			res.fs = ep.FaultStats()
+			res.errStr = fmt.Sprint(err)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		nd1 := m.Nodes()[1]
+		if !nd1.Crashed || nd1.CrashedAt < crashAt {
+			t.Errorf("node 1 not crashed (crashed=%v at=%d)", nd1.Crashed, nd1.CrashedAt)
+		}
+		res.crashedAt = nd1.CrashedAt
+		return res
+	}
+
+	seq := run(t, sim.Sequential)
+	par := run(t, sim.Parallel)
+	if seq != par {
+		t.Errorf("engines disagree on the crash outcome:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+	if seq.attempts != retries {
+		t.Errorf("declared unreachable after %d attempts, want the retry cap %d", seq.attempts, retries)
+	}
+	if seq.lost == 0 {
+		t.Error("no frames reported lost with the declaration")
+	}
+	if seq.fs.Retransmits == 0 || seq.fs.Exhausted == 0 {
+		t.Errorf("crash recovery recorded no retransmissions/exhaustions: %+v", seq.fs)
+	}
+}
+
+// TestCrashLiveSetCollectives: with a crash schedule active the collectives
+// run in live-set mode — a reduction and the following barriers shrink to
+// the surviving nodes instead of hanging on the dead one. Node 2 crashes
+// before contributing; nodes 0 and 1 must finish with the survivors-only
+// sum, node 0 must have probed the silent peer to establish its death, and
+// both engines must agree on sums, probe counts, and the degradation errors.
+func TestCrashLiveSetCollectives(t *testing.T) {
+	const crashAt = sim.Time(10000)
+	seed := findCrashSeed(t, 3, 0.4, crashAt, map[int]bool{2: true})
+
+	type result struct {
+		sums   [2]float64
+		probes int64
+		errs   [2]string
+	}
+	run := func(t *testing.T, engine sim.EngineKind) result {
+		cfg := machine.DefaultT3D(3)
+		cfg.Engine = engine
+		cfg.Faults = machine.FaultConfig{
+			FaultParams:   sim.FaultParams{Seed: seed, CrashRate: 0.4, CrashAt: crashAt},
+			Reliable:      true,
+			RelRTO:        2048,
+			RelMaxRetries: 3,
+		}
+		net := NewNet()
+		m := machine.New(cfg)
+		var res result
+		if _, err := m.Run(func(nd *machine.Node) {
+			ep := NewEP(net, nd)
+			if nd.ID() == 2 {
+				nd.Charge(sim.Compute, crashAt) // run past the crash point...
+				ep.Poll()                       // ...and die at the next network check
+				t.Error("doomed node survived its crash point")
+				return
+			}
+			sum := ep.AllReduceSum(float64(nd.ID() + 1))
+			res.sums[nd.ID()] = sum
+			ep.Quiesce()
+			ep.Barrier()
+			ep.Quiesce()
+			res.errs[nd.ID()] = fmt.Sprint(ep.Err())
+			if nd.ID() == 0 {
+				res.probes = ep.FaultStats().Probes
+				var ce *CollectiveError
+				if !errors.As(ep.Err(), &ce) {
+					t.Errorf("node 0 error %v carries no *CollectiveError", ep.Err())
+				} else if ce.Missing != 1 {
+					t.Errorf("CollectiveError Missing = %d, want 1 (one dead peer)", ce.Missing)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Nodes()[2].Crashed {
+			t.Error("node 2 not recorded as crashed")
+		}
+		return res
+	}
+
+	seq := run(t, sim.Sequential)
+	par := run(t, sim.Parallel)
+	if seq != par {
+		t.Errorf("engines disagree on the degraded collectives:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+	// Survivors' sum: node 0 contributes 1, node 1 contributes 2; the dead
+	// node's 3 must be missing from both.
+	for id, sum := range seq.sums {
+		if sum != 3 {
+			t.Errorf("node %d reduced to %v, want the survivors-only sum 3", id, sum)
+		}
+	}
+	if seq.probes == 0 {
+		t.Error("node 0 never probed the silent peer; live-set detection did not run")
+	}
+	for _, op := range []string{"allreduce degraded", "barrier degraded"} {
+		if !strings.Contains(seq.errs[0], op) {
+			t.Errorf("node 0 errors %q missing %q", seq.errs[0], op)
+		}
+	}
+}

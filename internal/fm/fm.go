@@ -37,6 +37,7 @@ const (
 	hReduceResult
 	hRelData
 	hRelAck
+	hProbe
 	numInternal
 )
 
@@ -49,6 +50,7 @@ func NewNet() *Net {
 	n.handlers[hReduceResult] = (*EP).onReduceResult
 	n.handlers[hRelData] = (*EP).onRelData
 	n.handlers[hRelAck] = (*EP).onRelAck
+	n.handlers[hProbe] = (*EP).onProbe
 	return n
 }
 
@@ -68,13 +70,27 @@ func (n *Net) Register(h Handler) int {
 	return len(n.handlers) - 1
 }
 
-func (ep *EP) onBarrierArrive(m sim.Message)  { ep.barrierCount++ }
+func (ep *EP) onBarrierArrive(m sim.Message) {
+	ep.barrierCount++
+	if ep.barrierSeen != nil {
+		ep.barrierSeen[m.From]++
+	}
+}
 func (ep *EP) onBarrierRelease(m sim.Message) { ep.barrierEpoch++ }
 
 func (ep *EP) onReduceArrive(m sim.Message) {
 	ep.reduceAcc += m.Payload.(float64)
 	ep.reduceCount++
+	if ep.reduceSeen != nil {
+		ep.reduceSeen[m.From]++
+	}
 }
+
+// onProbe is the liveness-probe handler: the frame's only job is to exist —
+// a reliable frame to a dead peer goes unacked and exhausts its retries,
+// which is exactly the detection signal the live-set collectives need. The
+// reliability layer acks it like any data frame; there is nothing to do.
+func (ep *EP) onProbe(m sim.Message) {}
 
 func (ep *EP) onReduceResult(m sim.Message) {
 	ep.reduceResult = m.Payload.(float64)
@@ -111,6 +127,17 @@ type EP struct {
 	reduceCount  int
 	reduceResult float64
 	reduceDone   bool
+
+	// Live-set collective state, enabled only when the fault config
+	// schedules permanent crashes (FaultConfig.CrashActive): collectives
+	// then track arrivals per peer and shrink to the surviving set instead
+	// of failing wholesale at the first dead destination. barrierSeen and
+	// reduceSeen count per-peer arrivals on node 0; reduceAt counts this
+	// node's completed reductions (the reduce-side analogue of barrierAt).
+	liveSet     bool
+	barrierSeen []int
+	reduceSeen  []int
+	reduceAt    int
 }
 
 // NewEP creates the endpoint for a node. Call once per node inside the SPMD
@@ -120,8 +147,16 @@ type EP struct {
 func NewEP(net *Net, n *machine.Node) *EP {
 	net.sealed.Store(true)
 	ep := &EP{Node: n, net: net, trc: n.Obs()}
-	if fc := &n.Cfg().Faults; fc.NeedsReliability() {
+	fc := &n.Cfg().Faults
+	if fc.NeedsReliability() {
 		ep.rel = newRelState(fc, n.N())
+	}
+	if fc.CrashActive() {
+		ep.liveSet = true
+		if n.ID() == 0 {
+			ep.barrierSeen = make([]int, n.N())
+			ep.reduceSeen = make([]int, n.N())
+		}
 	}
 	return ep
 }
@@ -253,6 +288,10 @@ func (ep *EP) Barrier() {
 		ep.traceBarrier()
 		return
 	}
+	if ep.liveSet {
+		ep.barrierLiveSet(n)
+		return
+	}
 	if ep.Node.ID() == 0 {
 		for ep.barrierCount < n-1 && !ep.Degraded() {
 			ep.WaitAndDispatch()
@@ -282,6 +321,91 @@ func (ep *EP) Barrier() {
 	ep.traceBarrier()
 }
 
+// barrierLiveSet is the crash-tolerant barrier (see EP.liveSet): node 0
+// waits for each peer individually until it has either arrived or been
+// declared unreachable, probing silent live peers so the wait stays bounded
+// by retransmission deadlines, then releases the survivors. A dead peer
+// shrinks the barrier instead of aborting it.
+func (ep *EP) barrierLiveSet(n int) {
+	if ep.Node.ID() == 0 {
+		for {
+			missing := false
+			for j := 1; j < n; j++ {
+				if ep.barrierSeen[j] < ep.barrierAt && !ep.Unreachable(j) {
+					missing = true
+					ep.probe(j)
+				}
+			}
+			if !missing {
+				break
+			}
+			ep.WaitAndDispatch()
+		}
+		dead, arrived := 0, 0
+		for j := 1; j < n; j++ {
+			if ep.barrierSeen[j] < ep.barrierAt {
+				dead++
+			} else {
+				arrived++
+			}
+		}
+		ep.barrierCount -= arrived
+		if dead > 0 {
+			ep.fail(&CollectiveError{Op: "barrier", Node: 0, Missing: dead})
+		}
+		for j := 1; j < n; j++ {
+			if !ep.Unreachable(j) {
+				ep.Send(j, hBarrierRelease, nil, 4)
+			}
+		}
+		ep.barrierEpoch++
+		ep.traceBarrier()
+		return
+	}
+	ep.Send(0, hBarrierArrive, nil, 4)
+	for ep.barrierEpoch < ep.barrierAt && !ep.Unreachable(0) {
+		ep.probe(0)
+		ep.WaitAndDispatch()
+	}
+	if ep.barrierEpoch < ep.barrierAt {
+		ep.fail(&CollectiveError{Op: "barrier", Node: ep.Node.ID(), Missing: 1})
+		ep.barrierEpoch = ep.barrierAt
+	}
+	ep.traceBarrier()
+}
+
+// probeBytes is the modeled payload size of one liveness probe.
+const probeBytes = 4
+
+// probe keeps detection traffic flowing toward dst: when nothing is in
+// flight or backlogged to it, send one reliable no-op frame. Either the ack
+// comes back (dst is alive — the collective keeps waiting for its real
+// arrival) or the probe's retries exhaust and dst is declared unreachable.
+// Without it, a peer that crashes after acking everything would leave the
+// waiting node with no retransmission deadline and therefore no way to
+// notice the death.
+func (ep *EP) probe(dst int) {
+	if ep.rel == nil || ep.Unreachable(dst) || ep.rel.pendingTo(dst) > 0 {
+		return
+	}
+	ep.fs.Probes++
+	ep.relSend(dst, hProbe, nil, probeBytes)
+}
+
+// ProbeOwner keeps liveness-detection traffic flowing toward dst while the
+// caller waits on application replies from it (e.g. a runtime draining
+// outstanding fetches). A peer that crashes after acking every reliable
+// frame leaves the waiter with no retransmission deadline; the probe
+// restores one, so the retry cap can declare the death and the waiter can
+// abandon instead of blocking forever. A no-op unless the fault plan
+// schedules crashes — without them a silent peer is just slow, and probing
+// would perturb fault-free and loss-only runs.
+func (ep *EP) ProbeOwner(dst int) {
+	if ep.liveSet {
+		ep.probe(dst)
+	}
+}
+
 // traceBarrier records a completed barrier on this node's trace: the stamp is
 // the node's local completion time, the argument the barrier ordinal. Emitted
 // from the fm layer (not the engine) so the record is identical under both
@@ -299,6 +423,9 @@ func (ep *EP) AllReduceSum(v float64) float64 {
 	n := ep.Node.N()
 	if n == 1 {
 		return v
+	}
+	if ep.liveSet {
+		return ep.allReduceLiveSet(n, v)
 	}
 	if ep.Node.ID() == 0 {
 		for ep.reduceCount < n-1 && !ep.Degraded() {
@@ -329,4 +456,57 @@ func (ep *EP) AllReduceSum(v float64) float64 {
 	ep.reduceDone = false
 	r := ep.reduceResult
 	return r
+}
+
+// allReduceLiveSet is the crash-tolerant reduction (see EP.liveSet): the
+// sum shrinks to the contributions of nodes still alive, mirroring
+// barrierLiveSet's per-peer wait and probing.
+func (ep *EP) allReduceLiveSet(n int, v float64) float64 {
+	ep.reduceAt++
+	if ep.Node.ID() == 0 {
+		for {
+			missing := false
+			for j := 1; j < n; j++ {
+				if ep.reduceSeen[j] < ep.reduceAt && !ep.Unreachable(j) {
+					missing = true
+					ep.probe(j)
+				}
+			}
+			if !missing {
+				break
+			}
+			ep.WaitAndDispatch()
+		}
+		dead, arrived := 0, 0
+		for j := 1; j < n; j++ {
+			if ep.reduceSeen[j] < ep.reduceAt {
+				dead++
+			} else {
+				arrived++
+			}
+		}
+		ep.reduceCount -= arrived
+		if dead > 0 {
+			ep.fail(&CollectiveError{Op: "allreduce", Node: 0, Missing: dead})
+		}
+		total := ep.reduceAcc + v
+		ep.reduceAcc = 0
+		for j := 1; j < n; j++ {
+			if !ep.Unreachable(j) {
+				ep.Send(j, hReduceResult, total, 8)
+			}
+		}
+		return total
+	}
+	ep.Send(0, hReduceArrive, v, 8)
+	for !ep.reduceDone && !ep.Unreachable(0) {
+		ep.probe(0)
+		ep.WaitAndDispatch()
+	}
+	if !ep.reduceDone {
+		ep.fail(&CollectiveError{Op: "allreduce", Node: ep.Node.ID(), Missing: 1})
+		return v
+	}
+	ep.reduceDone = false
+	return ep.reduceResult
 }

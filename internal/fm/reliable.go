@@ -298,6 +298,14 @@ func (ep *EP) declareUnreachable(dst, attempts int) {
 	ep.fail(&UnreachableError{From: ep.Node.ID(), To: dst, Attempts: attempts, Lost: lost})
 }
 
+// pendingTo counts unfinished frames (in flight plus backlogged) toward one
+// destination; the live-set collectives use it to decide whether detection
+// traffic is already flowing to a silent peer.
+func (r *relState) pendingTo(dst int) int {
+	d := &r.dest[dst]
+	return len(d.inflight) + len(d.backlog)
+}
+
 // nextDeadline returns the earliest retransmission deadline across live
 // destinations, if any frame is in flight.
 func (r *relState) nextDeadline() (sim.Time, bool) {

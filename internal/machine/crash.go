@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"fmt"
+
+	"dpa/internal/obs"
+	"dpa/internal/sim"
+)
+
+// ErrCrashed is the sentinel matched by errors.Is for permanent node
+// crashes (see FaultParams.CrashRate/CrashAt).
+var ErrCrashed = &crashedSentinel{}
+
+type crashedSentinel struct{}
+
+func (*crashedSentinel) Error() string { return "machine: node crashed" }
+
+// CrashError reports that a node crashed permanently at the given virtual
+// time and executed nothing afterwards. Under a crash schedule this is the
+// expected per-node outcome for every doomed node; survivors degrade
+// around it (see the fm reliability layer) and the run completes with
+// partial results.
+type CrashError struct {
+	// Node is the crashed node's id.
+	Node int
+	// At is the virtual time the crash took effect (the node's clock at its
+	// first network check at or after the scheduled crash time).
+	At sim.Time
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("machine: node %d crashed at t=%d", e.Node, e.At)
+}
+
+// Unwrap makes errors.Is(err, ErrCrashed) true.
+func (e *CrashError) Unwrap() error { return ErrCrashed }
+
+// crashSentinel is the panic payload that unwinds a crashed node's program.
+// Machine.Run's spawn wrapper recovers it, so the node's goroutine simply
+// exits — from the engine's point of view the process completed, and from
+// every peer's point of view the node went silent forever.
+type crashSentinel struct{}
+
+// checkCrash kills the node at its first network interaction at or after its
+// scheduled crash time. Crashing only at network checks (sends and polls)
+// keeps the crash point a pure function of the node's program order and
+// virtual clock — identical across engines and repeats — and models the
+// practical failure surface: a dead node is one that stops talking.
+func (n *Node) checkCrash() {
+	if n.crashAt <= 0 || n.Crashed || n.proc.Now() < n.crashAt {
+		return
+	}
+	n.Crashed = true
+	n.CrashedAt = n.proc.Now()
+	if n.trc != nil {
+		n.trc.Event(obs.KFault, n.proc.Now(), obs.FaultCrash, int64(n.id))
+	}
+	panic(crashSentinel{})
+}

@@ -64,10 +64,19 @@ func (f *FaultConfig) Active() bool { return f.FaultParams.Any() || f.Reliable }
 
 // NeedsReliability reports whether the fm layer must run its reliability
 // protocol: explicitly requested, or required for correctness because
-// messages can be lost or duplicated. (Jitter and stalls only delay
-// delivery, which the unmodified protocols tolerate.)
+// messages can be lost or duplicated — or because nodes can crash, which
+// survivors detect only through the protocol's retry cap. (Jitter and
+// stalls only delay delivery, which the unmodified protocols tolerate.)
 func (f *FaultConfig) NeedsReliability() bool {
-	return f.Reliable || f.DropRate > 0 || f.DupRate > 0
+	return f.Reliable || f.DropRate > 0 || f.DupRate > 0 || f.CrashActive()
+}
+
+// CrashActive reports whether the config schedules permanent node crashes.
+// Crash runs additionally switch the fm collectives to live-set tracking so
+// barriers and reductions shrink to the surviving nodes instead of failing
+// wholesale at the first dead peer.
+func (f *FaultConfig) CrashActive() bool {
+	return f.CrashRate > 0 && f.CrashAt > 0
 }
 
 // Window returns the effective send window.

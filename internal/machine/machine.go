@@ -84,6 +84,12 @@ type Config struct {
 	// reliability protocol. The zero value disables both, leaving every
 	// result bit-identical to a fault-free machine.
 	Faults FaultConfig
+
+	// Checkpoint, when non-nil, arms a deterministic checkpoint (or restore
+	// verification) spanning the phases run with this config; the spec is a
+	// cross-phase cursor like Obs's phase offset. The driver resolves which
+	// phase the boundary falls in and performs the capture.
+	Checkpoint *CheckpointSpec
 }
 
 // Lookahead returns the machine's minimum cross-node message delay in
@@ -277,7 +283,24 @@ func (m *Machine) Run(main func(n *Node)) (sim.Time, error) {
 			n.trc = m.Cfg.Obs.Attach(i)
 		}
 		m.nodes[i] = n
+		if m.plan != nil {
+			if at, doomed := m.plan.CrashTime(i); doomed {
+				n.crashAt = at
+			}
+		}
 		p := m.eng.Spawn(func(p *sim.Proc) {
+			// A doomed node's program unwinds with a crash sentinel at its
+			// first network check past the crash time; recovering it here
+			// lets the goroutine exit so the engine sees a completed
+			// process, never a hung one. Any other panic propagates.
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashSentinel); ok {
+						return
+					}
+					panic(r)
+				}
+			}()
 			main(n)
 		})
 		n.proc = p
@@ -358,6 +381,14 @@ type Node struct {
 	// program order — the (seed, sender, seq) key of the fault PRNG.
 	faultSeq uint64
 	stallSeq uint64
+
+	// Permanent-crash state (see FaultParams.CrashRate/CrashAt): crashAt is
+	// the scheduled crash time resolved from the fault plan at Run (0 = the
+	// node survives); Crashed/CrashedAt record the crash once it takes
+	// effect at a network check.
+	crashAt   sim.Time
+	Crashed   bool
+	CrashedAt sim.Time
 }
 
 // ID returns the node id (0-based).
@@ -408,6 +439,7 @@ func (n *Node) SendControl(dst, handler int, payload any, bytes int) {
 }
 
 func (n *Node) send(dst, handler int, payload any, bytes int, control bool) {
+	n.checkCrash()
 	c := &n.mach.Cfg
 	n.proc.Charge(sim.SendOv, c.SendOverhead)
 	arrival := n.proc.Now() + c.TransitTime(n.id, dst, bytes)
@@ -491,8 +523,11 @@ func (n *Node) WaitMessageUntil(deadline sim.Time) []sim.Message {
 }
 
 // maybeStall injects a transient node stall at a network check, drawn from
-// the fault plan in program order (see FaultParams.StallRate).
+// the fault plan in program order (see FaultParams.StallRate). It is also
+// the poll-side crash point: a doomed node dies here instead of checking
+// the network.
 func (n *Node) maybeStall() {
+	n.checkCrash()
 	plan := n.mach.plan
 	if plan == nil {
 		return

@@ -113,6 +113,7 @@ const (
 	FaultDup
 	FaultJitter
 	FaultStall
+	FaultCrash
 )
 
 // Event is one discrete trace record on a node's timeline.

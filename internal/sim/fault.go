@@ -35,13 +35,24 @@ type FaultParams struct {
 	StallRate float64
 	// StallCycles is the length of one injected stall.
 	StallCycles Time
+	// CrashRate is the probability that a node crashes permanently: at its
+	// first network check at or after CrashAt it stops executing for the
+	// rest of the run. Unlike the transient faults above, a crash is drawn
+	// once per node (not per message), keyed on the node id alone, so the
+	// doomed set is a pure function of (Seed, CrashRate) — identical across
+	// engines and repeats.
+	CrashRate float64
+	// CrashAt is the virtual time at or after which doomed nodes die. Zero
+	// disables crashes even when CrashRate > 0.
+	CrashAt Time
 }
 
 // Any reports whether the parameters inject any fault at all.
 func (f *FaultParams) Any() bool {
 	return f.DropRate > 0 || f.DupRate > 0 ||
 		(f.JitterRate > 0 && f.MaxJitter > 0) ||
-		(f.StallRate > 0 && f.StallCycles > 0)
+		(f.StallRate > 0 && f.StallCycles > 0) ||
+		(f.CrashRate > 0 && f.CrashAt > 0)
 }
 
 // Validate rejects parameters with no defined meaning.
@@ -52,6 +63,7 @@ func (f *FaultParams) Validate() error {
 	}{
 		{"DropRate", f.DropRate}, {"DupRate", f.DupRate},
 		{"JitterRate", f.JitterRate}, {"StallRate", f.StallRate},
+		{"CrashRate", f.CrashRate},
 	} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("sim: fault %s = %v, must be in [0, 1]", r.name, r.v)
@@ -62,6 +74,9 @@ func (f *FaultParams) Validate() error {
 	}
 	if f.StallCycles < 0 {
 		return fmt.Errorf("sim: fault StallCycles = %d, must be >= 0", f.StallCycles)
+	}
+	if f.CrashAt < 0 {
+		return fmt.Errorf("sim: fault CrashAt = %d, must be >= 0", f.CrashAt)
 	}
 	return nil
 }
@@ -107,6 +122,7 @@ const (
 	streamJitterAmt
 	streamDupAmt
 	streamStall
+	streamCrash
 )
 
 // fmix64 is the splitmix64 finalizer: a bijective avalanche mix.
@@ -161,4 +177,18 @@ func (f *FaultPlan) Stall(node int, op uint64) Time {
 		return f.p.StallCycles
 	}
 	return 0
+}
+
+// CrashTime reports whether the given node is doomed to crash and at what
+// virtual time. The verdict is drawn once per node id — never per event — so
+// the doomed set is fixed the moment the plan is built, and callers (tests,
+// harnesses) can enumerate it without replaying the run.
+func (f *FaultPlan) CrashTime(node int) (Time, bool) {
+	if f.p.CrashRate <= 0 || f.p.CrashAt <= 0 {
+		return 0, false
+	}
+	if unit(f.draw(streamCrash, uint64(node), 0)) < f.p.CrashRate {
+		return f.p.CrashAt, true
+	}
+	return 0, false
 }

@@ -76,6 +76,11 @@ type ParEngine struct {
 	windows int64   // total windows opened (host counter)
 	seeds   []*Proc // window-open scratch: one chain seed per non-empty shard
 	done    chan runOutcome
+	// ckAt/ckFn are the armed one-shot checkpoint hook (see
+	// Engine.CheckpointAt); ckFn is nilled once fired. Only the
+	// single-threaded window opener reads or fires them.
+	ckAt Time
+	ckFn func()
 }
 
 // parShard is one worker's shard: a heap of parked processes plus the
@@ -352,7 +357,23 @@ func (e *ParEngine) openWindow(self *Proc) bool {
 		e.done <- runDeadlock
 		return false
 	}
+	// An armed checkpoint fires at the first turnover whose GVT has reached
+	// the boundary: every event before it has executed, none at or beyond it
+	// has, and all processes are parked — the same boundary the sequential
+	// engine fires at, so the captured state is bit-identical.
+	if e.ckFn != nil && gvt >= e.ckAt {
+		fn := e.ckFn
+		e.ckFn = nil
+		fn()
+	}
 	frontier := gvt + e.lookahead
+	if e.ckFn != nil && frontier > e.ckAt {
+		// While armed, no window may reach past the boundary: strict-mode
+		// local advances stay strictly below the horizon, so clamping the
+		// frontier keeps every pre-capture event strictly before the
+		// boundary. GVT < ckAt here, so the window is never empty.
+		frontier = e.ckAt
+	}
 
 	// Admission: pop each shard's processes inside the window into its run
 	// queue. Prep (idle catch-up, horizon, state, window stamp) completes
@@ -391,6 +412,10 @@ func (e *ParEngine) openWindow(self *Proc) bool {
 			lone.horizon = Forever
 		} else {
 			lone.horizon = second + e.lookahead
+		}
+		if e.ckFn != nil && lone.horizon > e.ckAt {
+			// The extension must also respect an armed checkpoint boundary.
+			lone.horizon = e.ckAt
 		}
 	}
 
@@ -494,6 +519,14 @@ func (e *ParEngine) arenaShards() {
 
 // Procs returns the engine's processes (for stats collection after Run).
 func (e *ParEngine) Procs() []*Proc { return e.procs }
+
+// CheckpointAt arms the one-shot checkpoint hook (see Engine.CheckpointAt).
+func (e *ParEngine) CheckpointAt(at Time, fn func()) {
+	if at <= 0 {
+		panic("sim: CheckpointAt requires a positive time")
+	}
+	e.ckAt, e.ckFn = at, fn
+}
 
 // NewEngineOf returns an engine of the given kind with default tuning. The
 // lookahead is only used by the parallel engine. See NewEngineWith for the

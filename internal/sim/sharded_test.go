@@ -247,6 +247,71 @@ func TestShardArenaWindowTurnoverZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestShardArenaDeadMailboxZeroAllocs extends the window-turnover contract to
+// the crash path: one echo process exits mid-run (from the engine's point of
+// view, exactly what a crashed machine node looks like), while its partner
+// keeps posting into the dead mailbox — the shape of a reliability layer
+// retransmitting to a dead peer. The surviving pairs' round trips must still
+// allocate nothing in steady state: a mailbox that only fills and never
+// drains must not perturb the live message path.
+func TestShardArenaDeadMailboxZeroAllocs(t *testing.T) {
+	const look = 10
+	const stop = -1
+	const pairs = 4 // 8 procs over 4 workers: 2 per shard, as in the base test
+	e := NewParallelTuned(look, Tuning{Workers: pairs})
+	var allocs float64
+	for i := 0; i < pairs; i++ {
+		i := i
+		echo := pairs + i
+		e.Spawn(func(p *Proc) {
+			step := func() {
+				p.Post(echo, Message{Arrival: p.Now() + look, Handler: 1, Bytes: 8})
+				p.WaitMessage()
+			}
+			for r := 0; r < 8; r++ {
+				step() // warm the drain buffers and any overflow paths
+			}
+			if i == 1 {
+				// Kill this pair's echo, then fire-and-forget into its dead
+				// mailbox for the rest of the run.
+				p.Post(echo, Message{Arrival: p.Now() + look, Handler: stop})
+				for r := 0; r < 150; r++ {
+					p.Post(echo, Message{Arrival: p.Now() + look, Handler: 2, Bytes: 8})
+					p.Charge(Compute, look)
+					p.Poll()
+				}
+				return
+			}
+			if i == 0 {
+				allocs = testing.AllocsPerRun(100, step)
+			} else {
+				for r := 0; r < 150; r++ { // keep every shard busy past the measurement
+					step()
+				}
+			}
+			p.Post(echo, Message{Arrival: p.Now() + look, Handler: stop})
+		})
+	}
+	for i := 0; i < pairs; i++ {
+		e.Spawn(func(p *Proc) {
+			for {
+				for _, m := range p.WaitMessage() {
+					if m.Handler == stop {
+						return
+					}
+					p.Post(m.From, Message{Arrival: p.Now() + look, Handler: 2, Bytes: 8})
+				}
+			}
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("live-pair round trip allocates %.1f objects with a dead mailbox in the machine, want 0", allocs)
+	}
+}
+
 // TestTuningValidate covers the typed rejection of bad engine tuning.
 func TestTuningValidate(t *testing.T) {
 	cases := []struct {

@@ -170,6 +170,17 @@ type Engine interface {
 	Run() (Time, error)
 	// Procs returns the engine's processes (for stats collection after Run).
 	Procs() []*Proc
+	// CheckpointAt arms a one-shot checkpoint hook for the coming Run: fn
+	// runs exactly once, at the first scheduling boundary where every
+	// process's next event lies at or beyond at — every virtual-time event
+	// before at has executed and none at or beyond it has, with all
+	// processes parked. The boundary is a pure function of the simulated
+	// programs, so both engines fire with bit-identical process state; the
+	// engines clamp their scheduling horizons to at while armed, which
+	// changes when processes yield but never what they compute. at must be
+	// positive; if the run completes or deadlocks before at, fn never runs.
+	// Must be called before Run; fn must not call back into the engine.
+	CheckpointAt(at Time, fn func())
 }
 
 // ErrDeadlock is the sentinel matched by errors.Is for engine deadlocks.
@@ -257,8 +268,14 @@ type Proc struct {
 	// lookahead contract). Strict mode is also the locking mode: only the
 	// parallel engine has concurrent posters, so only it takes the mailbox
 	// mutex.
-	strict   bool
-	sendSeq  uint64
+	strict  bool
+	sendSeq uint64
+	// ckBound bounds the sequential engine's at-horizon idle-advance while a
+	// checkpoint is armed: local advances must stay strictly below it so no
+	// event at or beyond the checkpoint boundary executes before capture
+	// (the parallel engine's strict frontier already guarantees this).
+	// Forever when no checkpoint is armed.
+	ckBound  Time
 	heapIdx  int       // position in a wake heap (-1 when popped), or the sequential engine's
 	shard    int32     // owning worker shard under the parallel engine (fixed before Run)
 	drainBuf []Message // reusable Poll/WaitMessage result buffer
@@ -296,6 +313,7 @@ func newProc(s scheduler, id int, fn func(p *Proc), strict bool) *Proc {
 		wake:    0,
 		strict:  strict,
 		idleCat: Idle,
+		ckBound: Forever,
 		resume:  make(chan struct{}, 1),
 	}
 	go func() {
@@ -472,7 +490,9 @@ func (p *Proc) WaitMessage() []Message {
 			// The earliest pending message is in our future. If no other
 			// process needs to run before it arrives (sequential), or it is
 			// strictly inside the epoch frontier (parallel), just advance.
-			if at < p.horizon || (!p.strict && at == p.horizon) {
+			// The at-horizon relaxation additionally stays below ckBound so
+			// an armed checkpoint captures before any boundary event runs.
+			if at < p.horizon || (!p.strict && at == p.horizon && at < p.ckBound) {
 				p.advanceIdle(at)
 				return p.drain()
 			}
@@ -515,7 +535,9 @@ func (p *Proc) WaitMessageUntil(deadline Time) []Message {
 		// engine (the message is already in the mailbox, so advancing
 		// cannot reorder anything). A timeout target equal to the horizon
 		// must yield instead — another process may still run at that time.
-		if target < p.horizon || (!p.strict && ok && at == p.horizon && at <= target) {
+		// Like WaitMessage, the relaxation respects an armed checkpoint's
+		// ckBound.
+		if target < p.horizon || (!p.strict && ok && at == p.horizon && at <= target && at < p.ckBound) {
 			p.advanceIdle(target)
 			if target == at {
 				return p.drain()
@@ -632,6 +654,10 @@ type SeqEngine struct {
 	procs []*Proc
 	heap  schedHeap
 	done  chan runOutcome
+	// ckAt/ckFn are the armed one-shot checkpoint hook (see
+	// Engine.CheckpointAt); ckFn is nilled once fired.
+	ckAt Time
+	ckFn func()
 }
 
 // NewEngine returns an empty sequential engine.
@@ -664,12 +690,51 @@ func (e *SeqEngine) Run() (Time, error) {
 	return makespan(e.procs), nil
 }
 
-// dispatch prepares the heap minimum q and wakes it: idle catch-up, horizon
-// (the second-best heap key), state. Called with q == e.heap.min().
-func (e *SeqEngine) dispatch(q *Proc) {
+// CheckpointAt arms the one-shot checkpoint hook (see Engine.CheckpointAt).
+func (e *SeqEngine) CheckpointAt(at Time, fn func()) {
+	if at <= 0 {
+		panic("sim: CheckpointAt requires a positive time")
+	}
+	e.ckAt, e.ckFn = at, fn
+}
+
+// maybeCheckpoint fires the armed checkpoint hook once the schedule's next
+// event time has reached the boundary. Called at every scheduling decision
+// (all processes parked), with next == the heap minimum's wake, which is
+// never Forever (deadlock is signalled before this point, so fn cannot fire
+// on a deadlocked run). Firing restores the processes' unclamped local-
+// advance bounds before fn observes them.
+func (e *SeqEngine) maybeCheckpoint(next Time) {
+	if e.ckFn == nil || next < e.ckAt {
+		return
+	}
+	fn := e.ckFn
+	e.ckFn = nil
+	for _, p := range e.procs {
+		p.ckBound = Forever
+	}
+	fn()
+}
+
+// prep prepares the heap minimum q to run: idle catch-up, horizon (the
+// second-best heap key, clamped to the checkpoint boundary while one is
+// armed), state. Called with q == e.heap.min().
+func (e *SeqEngine) prep(q *Proc) {
 	q.catchUp()
-	q.horizon = e.heap.secondWake()
+	h := e.heap.secondWake()
+	if e.ckFn != nil {
+		if h > e.ckAt {
+			h = e.ckAt
+		}
+		q.ckBound = e.ckAt
+	}
+	q.horizon = h
 	q.state = stateRunning
+}
+
+// dispatch preps the heap minimum q and wakes it.
+func (e *SeqEngine) dispatch(q *Proc) {
+	e.prep(q)
 	q.resume <- struct{}{}
 }
 
@@ -684,12 +749,11 @@ func (e *SeqEngine) park(p *Proc) bool {
 		e.done <- runDeadlock
 		return false // park forever; Run reports the DeadlockError
 	}
+	e.maybeCheckpoint(q.wake)
 	if q == p {
 		// Still the earliest: keep running with a refreshed horizon
 		// instead of bouncing through a goroutine hand-off.
-		p.catchUp()
-		p.horizon = e.heap.secondWake()
-		p.state = stateRunning
+		e.prep(p)
 		return true
 	}
 	e.dispatch(q)
@@ -709,6 +773,7 @@ func (e *SeqEngine) exit(p *Proc) {
 		e.done <- runDeadlock
 		return
 	}
+	e.maybeCheckpoint(q.wake)
 	e.dispatch(q)
 }
 

@@ -158,6 +158,7 @@ type FaultStats struct {
 	Duplicated int64 // messages delivered twice
 	Jittered   int64 // messages delayed beyond nominal transit
 	Stalls     int64 // transient node stalls
+	Crashes    int64 // nodes permanently crashed
 
 	// Reliability protocol (fm layer).
 	Retransmits    int64 // frames resent after a timeout
@@ -165,6 +166,7 @@ type FaultStats struct {
 	AcksSent       int64 // acks transmitted
 	DupsSuppressed int64 // received frames discarded as duplicates
 	UnknownHandler int64 // messages naming an unregistered handler
+	Probes         int64 // liveness probes sent by live-set collectives
 }
 
 // Any reports whether any counter is non-zero.
@@ -176,11 +178,13 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.Duplicated += o.Duplicated
 	f.Jittered += o.Jittered
 	f.Stalls += o.Stalls
+	f.Crashes += o.Crashes
 	f.Retransmits += o.Retransmits
 	f.Exhausted += o.Exhausted
 	f.AcksSent += o.AcksSent
 	f.DupsSuppressed += o.DupsSuppressed
 	f.UnknownHandler += o.UnknownHandler
+	f.Probes += o.Probes
 }
 
 // AdaptPoint is one strip-size decision by the adaptive controller: during
@@ -266,12 +270,16 @@ func Collect(m *machine.Machine, makespan sim.Time) Run {
 			CacheHits:   n.CacheHits,
 			CacheMisses: n.CacheMisses,
 		}
-		r.Faults.Add(FaultStats{
+		fs := FaultStats{
 			Dropped:    n.FaultDrops,
 			Duplicated: n.FaultDups,
 			Jittered:   n.FaultJitter,
 			Stalls:     n.FaultStalls,
-		})
+		}
+		if n.Crashed {
+			fs.Crashes = 1
+		}
+		r.Faults.Add(fs)
 	}
 	if ws := m.WorkerStats(); ws != nil {
 		r.Host = &HostSched{Workers: len(ws), Windows: m.EngineWindows(), PerWorker: ws}
@@ -486,10 +494,10 @@ func (r *Run) Table(clockHz float64) string {
 			rt.PlanStrips, rt.PlanMispredicts, rt.RegionReleases)
 	}
 	if f := r.Faults; f.Any() {
-		fmt.Fprintf(&b, "faults    %d dropped, %d duplicated, %d jittered, %d stalls\n",
-			f.Dropped, f.Duplicated, f.Jittered, f.Stalls)
-		fmt.Fprintf(&b, "recovery  %d retransmits, %d acks, %d dups suppressed, %d exhausted, %d abandoned, %d unknown handler\n",
-			f.Retransmits, f.AcksSent, f.DupsSuppressed, f.Exhausted, rt.Abandoned, f.UnknownHandler)
+		fmt.Fprintf(&b, "faults    %d dropped, %d duplicated, %d jittered, %d stalls, %d crashed\n",
+			f.Dropped, f.Duplicated, f.Jittered, f.Stalls, f.Crashes)
+		fmt.Fprintf(&b, "recovery  %d retransmits, %d acks, %d dups suppressed, %d exhausted, %d abandoned, %d probes, %d unknown handler\n",
+			f.Retransmits, f.AcksSent, f.DupsSuppressed, f.Exhausted, rt.Abandoned, f.Probes, f.UnknownHandler)
 	}
 	if r.Err != nil {
 		fmt.Fprintf(&b, "degraded  %v\n", r.Err)
