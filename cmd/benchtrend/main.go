@@ -30,14 +30,22 @@ type report struct {
 	Nodes      int               `json:"nodes"`
 	Bodies     int               `json:"bodies"`
 	Runtime    string            `json:"runtime"`
+	Flags      string            `json:"flags"`
 	GoVersion  string            `json:"go_version"`
 	Benchmarks []stats.HostBench `json:"benchmarks"`
 }
 
 // workload identifies the simulated configuration a snapshot measured;
-// only snapshots with equal workloads are comparable.
+// only snapshots with equal workloads are comparable. The runtime
+// feature-flag set is part of the identity: a planner run and a prior+shape
+// run simulate different schedules, so their host costs must not be lined
+// up as one trend.
 func (r report) workload() string {
-	return fmt.Sprintf("%s nodes=%d bodies=%d %s", r.App, r.Nodes, r.Bodies, r.Runtime)
+	key := fmt.Sprintf("%s nodes=%d bodies=%d %s", r.App, r.Nodes, r.Bodies, r.Runtime)
+	if r.Flags != "" {
+		key += " [" + r.Flags + "]"
+	}
+	return key
 }
 
 type snapshot struct {

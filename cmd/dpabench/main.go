@@ -6,7 +6,8 @@
 //
 //	dpabench -app bh|fmm|em3d -nodes 16 -runtime dpa|caching|blocking \
 //	         -engine sequential|parallel [-workers 8] [-nosteal] [-la-override 0] \
-//	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29]
+//	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29] \
+//	         [-adaptive] [-planner] [-prior] [-shape]
 //
 // The parallel engine is tuned with -workers (host workers, 0 = one per
 // core capped at the node count), -nosteal (pin each shard to its owner),
@@ -84,6 +85,8 @@ func main() {
 	strip := flag.Int("strip", 50, "DPA strip size (0 = one strip)")
 	adaptive := flag.Bool("adaptive", false, "enable DPA's adaptive scheduling layer (strip control, owner-major scheduling, RTT-derived aggregation)")
 	planner := flag.Bool("planner", false, "enable DPA's predictive communication planner (cost-model strip sizing, reuse-region pinning, histogram-derived aggregation limits)")
+	prior := flag.Bool("prior", false, "enable the planner's cross-phase reuse prior (implies -planner; multi-phase apps warm-start repeated phases from measured history)")
+	shape := flag.Bool("shape", false, "enable affinity-shaped tiles (implies -prior; planned strips reorder iterations into owner-major runs)")
 	strips := flag.String("strips", "", "comma-separated strip sizes: run a static sweep plus adaptive and planner rows and print a comparison table")
 	agg := flag.Int("agg", 16, "DPA aggregation limit (1 disables, 0 unlimited)")
 	noPipe := flag.Bool("nopipe", false, "disable DPA message pipelining")
@@ -141,6 +144,12 @@ func main() {
 		}
 		if *planner {
 			opts = append(opts, driver.WithPlanner())
+		}
+		if *prior {
+			opts = append(opts, driver.WithPrior())
+		}
+		if *shape {
+			opts = append(opts, driver.WithShape())
 		}
 		spec = driver.DPASpec(*strip, opts...)
 	case "caching":
@@ -391,6 +400,11 @@ func stripSweep(mcfg machine.Config, runWith func(machine.Config, driver.Spec) s
 		fmt.Printf("planner   %d strips planned, %d mispredicted, final strip %d\n",
 			pr.RT.PlanStrips, pr.RT.PlanMispredicts, pr.RT.FinalStrip)
 	}
+	ps := row(driver.DPASpec(50, append(opts, driver.WithShape())...))
+	if ps.RT.PlanPriorHits > 0 {
+		fmt.Printf("prior+shape %d prior hits, %d shaped runs, %.1f KB prior tables\n",
+			ps.RT.PlanPriorHits, ps.RT.ShapedRuns, float64(ps.RT.PriorBytes)/1024)
+	}
 	if best > 0 {
 		fmt.Printf("adaptive vs best static: %+.2f%%\n",
 			(float64(ar.Makespan)/float64(best)-1)*100)
@@ -398,6 +412,8 @@ func stripSweep(mcfg machine.Config, runWith func(machine.Config, driver.Spec) s
 			(float64(pr.Makespan)/float64(best)-1)*100)
 		fmt.Printf("planner  vs adaptive:    %+.2f%%\n",
 			(float64(pr.Makespan)/float64(ar.Makespan)-1)*100)
+		fmt.Printf("prior+shape vs planner:  %+.2f%%\n",
+			(float64(ps.Makespan)/float64(pr.Makespan)-1)*100)
 	}
 }
 
@@ -409,8 +425,39 @@ type hostBenchReport struct {
 	Bodies     int               `json:"bodies"`
 	Steps      int               `json:"steps"`
 	Runtime    string            `json:"runtime"`
+	Flags      string            `json:"flags,omitempty"`
 	GoVersion  string            `json:"go_version"`
 	Benchmarks []stats.HostBench `json:"benchmarks"`
+}
+
+// specFlags renders the runtime feature-flag set a benchmark ran under, so
+// bench records identify their configuration and benchtrend never compares
+// (say) a planner run against a prior+shape run just because both said "dpa".
+func specFlags(spec driver.Spec) string {
+	if spec.Kind != driver.DPA {
+		return ""
+	}
+	c := spec.Core
+	var fs []string
+	if c.Adaptive {
+		fs = append(fs, "adaptive")
+	}
+	if c.Planner {
+		fs = append(fs, "planner")
+	}
+	if c.Prior {
+		fs = append(fs, "prior")
+	}
+	if c.Shape {
+		fs = append(fs, "shape")
+	}
+	if !c.Pipeline {
+		fs = append(fs, "nopipe")
+	}
+	if c.LIFO {
+		fs = append(fs, "lifo")
+	}
+	return strings.Join(fs, ",")
 }
 
 // emitHostBench benchmarks the configured run under both engines with
@@ -424,6 +471,7 @@ func emitHostBench(mcfg machine.Config, runOnce func(machine.Config) stats.Run, 
 		Bodies:    bodies,
 		Steps:     steps,
 		Runtime:   fmt.Sprint(spec),
+		Flags:     specFlags(spec),
 		GoVersion: runtime.Version(),
 	}
 	type benchCase struct {

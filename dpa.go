@@ -252,6 +252,35 @@ func WithAdaptive() SpecOption { return driver.WithAdaptive() }
 // mispredicts. Mutually exclusive with WithLIFO.
 func WithPlanner() SpecOption { return driver.WithPlanner() }
 
+// WithPrior enables the planner's cross-phase reuse prior (implies
+// WithPlanner): repeated phases of a multi-phase run are planned from the
+// previous phase's measured signals — warm-started first strip, pre-sized
+// aggregation batches, reuse-gap retention — instead of the cold machine
+// model. The prior only takes effect when the runner supplies a PriorStore
+// via WithPriors.
+func WithPrior() SpecOption { return driver.WithPrior() }
+
+// WithShape enables affinity-shaped tiles (implies WithPrior): within each
+// planned strip, top-level iterations are reordered into owner-major runs
+// chosen from the prior's recorded affinity, so each owner's aggregation
+// batch fills in contiguous runs.
+func WithShape() SpecOption { return driver.WithShape() }
+
+// PriorStore carries the planner's cross-phase reuse priors across the phase
+// boundaries of one multi-phase run; see NewPriorStore and WithPriors.
+type PriorStore = driver.PriorStore
+
+// NewPriorStore returns an empty cross-phase prior store. One store should
+// span exactly one multi-phase run.
+func NewPriorStore() *PriorStore { return driver.NewPriorStore() }
+
+// WithPriors hands the phase a cross-phase prior store keyed by the given
+// phase kind. A no-op unless the spec is DPA with the prior enabled, so
+// runners can pass their store unconditionally.
+func WithPriors(store *PriorStore, kind string) RunOption {
+	return driver.WithPriors(store, kind)
+}
+
 // WithStripBounds sets the adaptive strip controller's bounds: strip sizes
 // stay in [min, max] and a strip whose renamed copies exceed memBudget bytes
 // triggers a shrink. Zero values keep the defaults.

@@ -15,9 +15,13 @@ import (
 	"dpa/internal/tpart"
 )
 
-// equivSpecs are the runtime schemes the engines are compared under.
+// equivSpecs are the runtime schemes the engines are compared under. The
+// prior+shape variant rides along everywhere: in RunPhase-only suites the
+// prior store is absent and the features must no-op identically; em3d.RunIters
+// carries a store, so the same spec exercises warm starts there.
 func equivSpecs() []Spec {
-	return []Spec{DPASpec(8), DPASpec(8, WithPlanner()), CachingSpec(), BlockingSpec()}
+	return []Spec{DPASpec(8), DPASpec(8, WithPlanner()), DPASpec(8, WithShape()),
+		CachingSpec(), BlockingSpec()}
 }
 
 // equivEngines returns the engine configurations every equivalence suite

@@ -72,6 +72,20 @@ type Config struct {
 	// bit-identical across engines, repeats, and seeded faults; with
 	// Planner false none of these paths run and behaviour is unchanged.
 	Planner bool
+	// Prior enables the planner's cross-phase reuse prior (requires
+	// Planner): when the driver attaches a prior table for the phase kind,
+	// the first strip of a repeated phase is planned from the previous
+	// phase's measured signals (warm-started strip size, pre-sized
+	// aggregation batches, reuse-gap retention) and the phase's own summary
+	// is folded back at the seam. Without an attached table behaviour is
+	// identical to plain Planner mode.
+	Prior bool
+	// Shape enables affinity-shaped tiles (requires Prior): top-level
+	// iterations of a planned loop are reordered into owner-major runs
+	// using the prior's per-iteration owner affinity, so each owner's
+	// aggregation batch fills in contiguous runs. Loops whose iteration
+	// count changed since the prior phase run in identity order.
+	Shape bool
 	// StripMin/StripMax bound the adaptive controller and the planner
 	// (<= 0: defaults 8 and 4096). Ignored in static mode.
 	StripMin int
@@ -144,6 +158,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Planner && c.LIFO {
 		return fmt.Errorf("core: Planner and LIFO are mutually exclusive (owner-major scheduling replaces the queue discipline)")
+	}
+	if c.Prior && !c.Planner {
+		return fmt.Errorf("core: Prior requires Planner (the cross-phase prior seeds the planner's cost model)")
+	}
+	if c.Shape && !c.Prior {
+		return fmt.Errorf("core: Shape requires Prior (affinity-shaped tiles read the prior's affinity arrays)")
 	}
 	if c.AggLimit < 0 {
 		return fmt.Errorf("core: AggLimit must be >= 0 (0 = unlimited), got %d", c.AggLimit)
@@ -264,7 +284,7 @@ func onFetchReply(ep *fm.EP, m sim.Message) {
 		// All threads dependent on p become ready together: they will run
 		// back to back, reusing the renamed copy while it is hot.
 		for j, fn := range e.waiters {
-			rt.ready.push(readyEntry{key: p.Key(), obj: o, fn: fn})
+			rt.ready.push(readyEntry{key: p.Key(), obj: o, fn: fn, iter: -1})
 			e.waiters[j] = nil
 		}
 		e.waiters = e.waiters[:0]
@@ -304,7 +324,10 @@ func (rt *RT) scatterReply(owner int, rep *fetchReply) {
 		}
 		key := p.Key()
 		for j, fn := range e.waiters {
-			l.items = append(l.items, readyEntry{key: key, obj: o, fn: fn})
+			// Resumed waiters run with no iteration attribution: their
+			// iteration's affinity was already recorded first-wins when the
+			// fetch was issued.
+			l.items = append(l.items, readyEntry{key: key, obj: o, fn: fn, iter: -1})
 			e.waiters[j] = nil
 		}
 		woken += len(e.waiters)
@@ -407,6 +430,8 @@ func New(proto *Proto, ep *fm.EP, space *gptr.Space, cfg Config) *RT {
 		rt.initCtl()
 	}
 	if rt.planner {
+		rt.plan.priorOn = cfg.Prior
+		rt.plan.shapeOn = cfg.Shape
 		rt.plan.init(ep.Node.N(), ep.Node.Cfg())
 	}
 	ep.Ctx = rt
@@ -434,16 +459,32 @@ func (rt *RT) Spawn(p gptr.Ptr, fn Thread) {
 	rt.st.Spawns++
 	if rt.Space.LocalOrRepl(p, n.ID()) {
 		rt.st.LocalHits++
-		rt.pushReady(n.ID(), readyEntry{key: p.Key(), obj: rt.Space.Get(p), fn: fn})
+		// iter rides along so a local spawn's thread tree (e.g. a traversal
+		// rooted at a replicated pointer) keeps attributing its remote
+		// references to the originating top-level iteration.
+		rt.pushReady(n.ID(), readyEntry{key: p.Key(), obj: rt.Space.Get(p), fn: fn, iter: rt.plan.curIter})
 		rt.trackPeak()
 		return
 	}
 	n.Charge(sim.SchedOv, rt.Cfg.MapCost)
+	if rt.plan.recAff != nil && rt.plan.curIter >= 0 && rt.plan.recAff[rt.plan.curIter] < 0 {
+		// First remote reference of this top-level iteration: record its
+		// owner as the iteration's affinity (first-wins) for the next
+		// phase's owner-major shaping.
+		rt.plan.recAff[rt.plan.curIter] = int32(p.Node)
+	}
 	if e, ok := rt.table[p]; ok {
 		rt.st.Reuses++
+		if rt.plan.priorOn {
+			// The idle span this re-reference closes feeds the reuse-gap
+			// ceiling, the retention window of the next phase's prior.
+			if gap := rt.plan.stripIdx - e.lastUse; gap > rt.plan.maxGap {
+				rt.plan.maxGap = gap
+			}
+		}
 		e.lastUse = rt.plan.stripIdx // reuse region stays open
 		if e.arrived {
-			rt.pushReady(int(p.Node), readyEntry{key: p.Key(), obj: e.obj, fn: fn})
+			rt.pushReady(int(p.Node), readyEntry{key: p.Key(), obj: e.obj, fn: fn, iter: rt.plan.curIter})
 		} else {
 			e.waiters = append(e.waiters, fn)
 			rt.waiting++
@@ -505,6 +546,9 @@ func (rt *RT) enqueueReq(p gptr.Ptr) {
 			rt.plan.owners++
 		}
 		rt.plan.curHist[dst]++
+		if rt.plan.priorOn {
+			rt.plan.phaseHist[dst]++
+		}
 	}
 	if rt.Cfg.Pipeline && len(rt.agg[dst]) >= rt.destLimit(dst) {
 		rt.flushDest(dst)
@@ -665,6 +709,11 @@ func (rt *RT) runOne() {
 	if rt.trc != nil {
 		t0 = n.Now()
 	}
+	if rt.planner {
+		// Restore the dispatched thread's top-level iteration so nested
+		// spawns attribute their affinity to it (prior.go).
+		rt.plan.curIter = e.iter
+	}
 	n.Charge(sim.SchedOv, rt.Cfg.ExecCost)
 	n.Touch(e.key)
 	rt.st.ThreadsRun++
@@ -754,11 +803,14 @@ func (rt *RT) trackPeak() {
 	}
 }
 
-// readyEntry is a thread whose object is available.
+// readyEntry is a thread whose object is available. iter is the top-level
+// iteration the thread's tree originated from (-1 when unattributed), used
+// by the planner's affinity recording; it rides in the struct's padding.
 type readyEntry struct {
-	key uint64
-	obj gptr.Object
-	fn  Thread
+	key  uint64
+	obj  gptr.Object
+	fn   Thread
+	iter int32
 }
 
 // readyQueue is a FIFO of ready threads. FIFO order preserves the

@@ -39,23 +39,34 @@ func (rt *RT) beginPlanStrip() {
 func (rt *RT) forAllPlanned(n int, spawnIter func(i int)) {
 	c := &rt.ctl
 	if !rt.plan.planned {
-		// First contact: no strip has run, so the reuse summary is empty and
-		// the cost model's only evidence-free bound is memory — enforced
+		// First contact within this phase: try the cross-phase prior first
+		// (planWarmStart sizes the first strip from the previous phase's
+		// measured signals and stages its owner histogram as the prediction
+		// source). With no usable prior the reuse summary is empty and the
+		// cost model's only evidence-free bound is memory — enforced
 		// reactively by the misprediction hand-off. Every strip boundary is
 		// pure overhead under zero evidence of pressure (the fetches==0
 		// branch of the model), so plan the whole loop as one strip, bounded
 		// by the configured maximum. This is what "zero warm-up strips"
 		// means: the first strip is already model-chosen, not cfg.Strip.
-		s := n
-		if s > c.max {
-			s = c.max
+		if rt.plan.prior == nil || !rt.planWarmStart(n) {
+			s := n
+			if s > c.max {
+				s = c.max
+			}
+			rt.setStrip(s)
+			rt.plan.planned = true
 		}
-		rt.setStrip(s)
-		rt.plan.planned = true
 	}
 	if c.strip <= 0 {
 		c.strip = n // Strip 0: start with the whole loop as one strip
 	}
+	// Affinity shaping (prior.go): a usable prior reorders the iteration
+	// space into owner-major runs; recording refreshes the affinity arrays
+	// for the next phase either way. perm==nil spawns in identity order.
+	perm := rt.planShape(n)
+	rt.beginLoopAffinity(n)
+	rec := rt.plan.recAff != nil
 	for lo := 0; lo < n; {
 		s := c.strip
 		hi := lo + s
@@ -68,7 +79,17 @@ func (rt *RT) forAllPlanned(n int, spawnIter func(i int)) {
 		rt.beginStrip()
 		rt.beginPlanStrip()
 		for i := lo; i < hi; i++ {
-			spawnIter(i)
+			it := i
+			if perm != nil {
+				it = int(perm[i])
+			}
+			if rec {
+				rt.plan.curIter = int32(it)
+			}
+			spawnIter(it)
+		}
+		if rec {
+			rt.plan.curIter = -1
 		}
 		if rt.Cfg.Pipeline {
 			rt.FlushAll()
@@ -102,6 +123,25 @@ func (rt *RT) endStripPlanned() {
 		return
 	}
 	cur := rt.plan.stripIdx
+	if w := rt.plan.retainGap; w > 1 {
+		// Reuse-gap prior (prior.go): last phase re-referenced live copies
+		// after idle spans of up to w strips, so a copy idle for w strips or
+		// fewer may well still be live — releasing it would break the
+		// exactly-once contract with a refetch. Release the provably stale
+		// tail first (idle longer than the observed ceiling); only when that
+		// is not enough fall back to the closed-region rule below.
+		for p, e := range rt.table {
+			if cur-e.lastUse > w {
+				rt.arrivedBytes -= int64(e.obj.ByteSize())
+				delete(rt.table, p)
+				rt.pool.putEntry(e)
+				rt.st.RegionReleases++
+			}
+		}
+		if rt.arrivedBytes <= rt.ctl.memBudget {
+			return
+		}
+	}
 	for p, e := range rt.table {
 		if e.lastUse < cur {
 			rt.arrivedBytes -= int64(e.obj.ByteSize())
@@ -145,6 +185,14 @@ func (rt *RT) planMispredicted(sig stripSignals, proposal, cur int) bool {
 // decision is recorded as a KPlan event and in the planner counters.
 func (rt *RT) planStrip(sig stripSignals) {
 	c := &rt.ctl
+	if ps := &rt.plan; ps.priorOn {
+		// Accumulate the phase totals the seam fold (FoldPrior) publishes as
+		// the next phase's warm-start signals.
+		ps.phaseIters += int64(sig.iters)
+		ps.phaseBytes += sig.fetchedBytes
+		ps.phaseBusy += sig.elapsed - sig.stall
+		ps.phaseStall += sig.stall
+	}
 	cur := c.strip
 	proposal := rt.planPropose(sig)
 	next := proposal

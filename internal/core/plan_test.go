@@ -186,6 +186,15 @@ func TestPlannedDestLimit(t *testing.T) {
 	if got := rt.destLimit(1); got != 120 {
 		t.Fatalf("scaled plannedDestLimit = %d, want 120", got)
 	}
+
+	// A warm plan (cross-phase prior) trusts its measured whole-phase volume
+	// past the cold 8×base cap: the same 600 predicted pointers ride one
+	// batch instead of splitting into five.
+	rt.plan.warm = true
+	if got := rt.destLimit(1); got != 600 {
+		t.Fatalf("warm plannedDestLimit = %d, want uncapped 600", got)
+	}
+	rt.plan.warm = false
 }
 
 // TestPlanMispredictedCases pins the hand-off boundary between the model and

@@ -29,6 +29,11 @@ func TestHotStructSizeBudgets(t *testing.T) {
 		{"core.fetchReq", unsafe.Sizeof(fetchReq{}), 24},
 		// Pointer batch + object batch: two slice headers.
 		{"core.fetchReply", unsafe.Sizeof(fetchReply{}), 48},
+		// Cross-phase prior records: one PriorOwner per node per phase kind
+		// (two words), and the fixed table header — six aggregate counters,
+		// the reuse-gap window, and three slice headers.
+		{"core.PriorOwner", unsafe.Sizeof(PriorOwner{}), priorOwnerBytes},
+		{"core.PriorTable", unsafe.Sizeof(PriorTable{}), priorTableBytes},
 	}
 	for _, c := range cases {
 		t.Logf("%s = %d bytes (budget %d)", c.name, c.size, c.budget)
@@ -36,5 +41,29 @@ func TestHotStructSizeBudgets(t *testing.T) {
 			t.Errorf("%s grew to %d bytes, over its %d-byte budget; repack or re-justify",
 				c.name, c.size, c.budget)
 		}
+	}
+}
+
+// TestPriorAccountingMatchesLayout pins the prior-table byte accounting to
+// the real struct layouts. ByteSize charges priorTableBytes plus
+// priorOwnerBytes per owner record against the same 4 MiB renamed-copy
+// budget the planner's memory bound spends from (planPropose subtracts
+// priorBytes from the headroom), so a drifted constant silently mis-sizes
+// strips — the constants must equal the layouts exactly, not merely bound
+// them.
+func TestPriorAccountingMatchesLayout(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("layout budgets are calibrated for 64-bit platforms")
+	}
+	if got := unsafe.Sizeof(PriorOwner{}); got != priorOwnerBytes {
+		t.Errorf("PriorOwner is %d bytes, accounting charges %d", got, priorOwnerBytes)
+	}
+	if got := unsafe.Sizeof(PriorTable{}); got != priorTableBytes {
+		t.Errorf("PriorTable header is %d bytes, accounting charges %d", got, priorTableBytes)
+	}
+	pt := &PriorTable{Owners: make([]PriorOwner, 4), Affinity: [][]int32{make([]int32, 8)}}
+	want := int64(priorTableBytes) + 4*priorOwnerBytes + 8*4
+	if got := pt.ByteSize(); got != want {
+		t.Errorf("ByteSize = %d, want %d", got, want)
 	}
 }

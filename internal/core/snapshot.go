@@ -147,6 +147,34 @@ func (rt *RT) EncodeSnapshot(w *sim.SnapWriter) {
 	w.Int(ps.lastIters)
 	w.Int(ps.owners)
 	w.Time(ps.rttPrior)
+	// Cross-phase prior state (prior.go). The attached table itself is
+	// fingerprinted here so any divergence in prior contents surfaces in the
+	// "rt" section even when the driver does not encode a "priors" section.
+	w.Bool(ps.priorOn)
+	w.Bool(ps.shapeOn)
+	w.Bool(ps.warm)
+	w.I64(ps.priorBytes)
+	w.U32(uint32(ps.retainGap))
+	w.U32(uint32(ps.maxGap))
+	w.U32(uint32(ps.curIter))
+	w.I64(ps.phaseIters)
+	w.I64(ps.phaseBytes)
+	w.Time(ps.phaseBusy)
+	w.Time(ps.phaseStall)
+	w.Int(len(ps.phaseHist))
+	h2 := uint64(len(ps.phaseHist))
+	for _, v := range ps.phaseHist {
+		h2 = sim.MixFP(h2, uint64(v))
+	}
+	w.U64(h2)
+	w.Int(len(ps.recAff))
+	h2 = uint64(len(ps.recAff))
+	for _, v := range ps.recAff {
+		h2 = sim.MixFP(h2, uint64(uint32(v)))
+	}
+	w.U64(h2)
+	w.Bool(ps.prior != nil)
+	w.U64(ps.prior.fingerprint())
 	w.Int(len(rt.rttEwma))
 	for i := range rt.rttEwma {
 		w.Time(rt.rttEwma[i])
@@ -179,4 +207,7 @@ func (rt *RT) EncodeSnapshot(w *sim.SnapWriter) {
 	w.I64(st.PlanStrips)
 	w.I64(st.PlanMispredicts)
 	w.I64(st.RegionReleases)
+	w.I64(st.PlanPriorHits)
+	w.I64(st.PriorBytes)
+	w.I64(st.ShapedRuns)
 }

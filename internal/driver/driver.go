@@ -88,6 +88,23 @@ func WithAdaptive() SpecOption { return func(s *Spec) { s.Core.Adaptive = true }
 // with WithLIFO.
 func WithPlanner() SpecOption { return func(s *Spec) { s.Core.Planner = true } }
 
+// WithPrior enables the planner's cross-phase reuse prior (implies
+// WithPlanner): when a multi-phase runner passes a PriorStore via WithPriors,
+// each repeated phase is planned from the previous phase's measured signals
+// — warm-started first strip, pre-sized aggregation batches, reuse-gap
+// retention — instead of the cold machine-model prior.
+func WithPrior() SpecOption {
+	return func(s *Spec) { s.Core.Planner = true; s.Core.Prior = true }
+}
+
+// WithShape enables affinity-shaped tiles (implies WithPrior): top-level
+// iterations of planned loops are reordered into owner-major runs using the
+// prior's recorded owner affinity, so each owner's aggregation batch fills in
+// contiguous runs per strip.
+func WithShape() SpecOption {
+	return func(s *Spec) { s.Core.Planner = true; s.Core.Prior = true; s.Core.Shape = true }
+}
+
 // WithStripBounds sets the adaptive controller's strip-size bounds and
 // per-strip renamed-copy memory budget in bytes (zero keeps each default).
 func WithStripBounds(min, max int, memBudget int64) SpecOption {
@@ -151,6 +168,12 @@ func (s Spec) Validate() error {
 func (s Spec) String() string {
 	switch s.Kind {
 	case DPA:
+		if s.Core.Shape {
+			return fmt.Sprintf("DPA-PS(%d)", s.Core.Strip)
+		}
+		if s.Core.Prior {
+			return fmt.Sprintf("DPA-PR(%d)", s.Core.Strip)
+		}
 		if s.Core.Planner {
 			return fmt.Sprintf("DPA-P(%d)", s.Core.Strip)
 		}
@@ -314,6 +337,8 @@ type runConfig struct {
 	faults     machine.FaultConfig
 	faultsSet  bool
 	checkpoint *machine.CheckpointSpec
+	prior      *PriorStore
+	priorKind  string
 }
 
 // WithEngineValue selects the engine driving the phase as a first-class
@@ -415,7 +440,14 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 	if err := spec.Validate(); err != nil {
 		panic("driver: invalid spec: " + err.Error())
 	}
-	run := runOnce(mcfg, space, spec, body)
+	// The validation run must see the same pre-phase priors as the primary
+	// run without the two folding into one table, so it gets a deep copy
+	// taken before the primary run mutates the store.
+	var checkPrior *PriorStore
+	if rc.validate && rc.prior != nil {
+		checkPrior = rc.prior.Clone()
+	}
+	run := runOnce(mcfg, space, spec, body, rc.prior, rc.priorKind)
 	if rc.validate {
 		other := mcfg
 		// The check run must not re-record into the caller's tracer: it
@@ -428,7 +460,7 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 		} else {
 			other.Engine = sim.Parallel
 		}
-		check := runOnce(other, space, spec, body)
+		check := runOnce(other, space, spec, body, checkPrior, rc.priorKind)
 		if diff := run.Diff(check); diff != "" {
 			panic(fmt.Sprintf("driver: engine validation failed (%v vs %v): %s",
 				mcfg.Engine, other.Engine, diff))
@@ -443,17 +475,25 @@ func RunPhase(mcfg machine.Config, space *gptr.Space, spec Spec,
 // once after, for the barrier traffic itself; both are no-ops when the
 // layer is off.
 func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
-	body func(rt Runtime, ep *fm.EP, nd *machine.Node)) stats.Run {
+	body func(rt Runtime, ep *fm.EP, nd *machine.Node),
+	prior *PriorStore, priorKind string) stats.Run {
 
 	ck := mcfg.Checkpoint
 	protos := NewProtos()
 	m := machine.New(mcfg)
 	rts := make([]Runtime, mcfg.Nodes)
 	eps := make([]*fm.EP, mcfg.Nodes)
+	// Resolve the phase's prior tables on the host before the machine runs:
+	// node bodies only read the slice, so the parallel engine's workers
+	// never race on the store's map.
+	var ptabs []*core.PriorTable
+	if prior != nil && spec.Kind == DPA && spec.Core.Prior {
+		ptabs = prior.tables(priorKind, mcfg.Nodes)
+	}
 	var ckErr error
 	if at, ok := ck.Target(); ok {
 		m.CheckpointAt(at, func() {
-			snap := captureSnapshot(ck, m, rts, eps)
+			snap := captureSnapshot(ck, m, rts, eps, prior)
 			if ck.Verify != nil {
 				if d := ck.Verify.Diff(snap); d != "" {
 					ckErr = &sim.SnapshotDivergedError{Detail: d}
@@ -473,6 +513,11 @@ func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 		}
 		rts[nd.ID()] = rt
 		eps[nd.ID()] = ep
+		if ptabs != nil {
+			if pa, ok := rt.(priorAttacher); ok {
+				pa.AttachPrior(ptabs[nd.ID()])
+			}
+		}
 		body(rt, ep, nd)
 		ep.Quiesce()
 		ep.Barrier()
@@ -494,6 +539,20 @@ func runOnce(mcfg machine.Config, space *gptr.Space, spec Spec,
 	for _, nd := range m.Nodes() {
 		if nd.Crashed {
 			run.AddErr(&machine.CrashError{Node: nd.ID(), At: nd.CrashedAt})
+		}
+	}
+	// Fold each node's reuse summary into its cross-phase prior table at the
+	// phase seam, in node-index order, before the counters are merged (the
+	// fold refreshes PriorBytes). Host-real-time never enters the fold, so
+	// the store stays a pure function of simulated history.
+	if ptabs != nil {
+		for _, rt := range rts {
+			if rt == nil {
+				continue
+			}
+			if pf, ok := rt.(priorFolder); ok {
+				pf.FoldPrior()
+			}
 		}
 	}
 	for _, rt := range rts {
@@ -526,13 +585,23 @@ type snapshotter interface {
 	EncodeSnapshot(w *sim.SnapWriter)
 }
 
+// priorAttacher/priorFolder are the cross-phase prior hooks a runtime may
+// implement (core.RT does); other runtimes simply never see priors.
+type priorAttacher interface {
+	AttachPrior(pt *core.PriorTable)
+}
+
+type priorFolder interface {
+	FoldPrior()
+}
+
 // captureSnapshot serializes the run's complete state at a checkpoint
 // boundary: engine scheduling state ("procs"), machine-level node state
 // ("machine"), the messaging layer including reliability windows ("fm"), and
 // runtime tables ("rt"). It runs inside the engine's checkpoint hook, when
 // every simulated process is parked, so all state is quiescent.
 func captureSnapshot(ck *machine.CheckpointSpec, m *machine.Machine,
-	rts []Runtime, eps []*fm.EP) *sim.Snapshot {
+	rts []Runtime, eps []*fm.EP, prior *PriorStore) *sim.Snapshot {
 
 	snap := &sim.Snapshot{Version: sim.SnapshotVersion, Meta: ck.Meta(len(eps))}
 	snap.Add("procs", m.SnapshotProcs)
@@ -565,6 +634,14 @@ func captureSnapshot(ck *machine.CheckpointSpec, m *machine.Machine,
 			w.Bool(true)
 			enc.EncodeSnapshot(w)
 		}
+	})
+	snap.Add("priors", func(w *sim.SnapWriter) {
+		if prior == nil {
+			w.Bool(false)
+			return
+		}
+		w.Bool(true)
+		prior.EncodeSnapshot(w)
 	})
 	return snap
 }

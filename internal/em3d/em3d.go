@@ -211,11 +211,13 @@ func SeqStep(prm Params) stats.Run {
 func RunIters(mcfg machine.Config, spec driver.Spec, prm Params, iters int) (stats.Run, *Graph) {
 	g := Build(prm, mcfg.Nodes)
 	var total stats.Run
+	ps := driver.NewPriorStore() // cross-phase priors: E halves seed E, H halves seed H
 	for it := 0; it < iters; it++ {
 		for _, half := range []struct {
+			kind string
 			ns   []*GraphNode
 			ptrs []gptr.Ptr
-		}{{g.E, g.EPtr}, {g.H, g.HPtr}} {
+		}{{"E", g.E, g.EPtr}, {"H", g.H, g.HPtr}} {
 			acc := make([]float64, prm.NodesPerKind)
 			half := half
 			run := driver.RunPhase(mcfg, g.Space, spec,
@@ -232,7 +234,7 @@ func RunIters(mcfg machine.Config, spec driver.Spec, prm Params, iters int) (sta
 							})
 						}
 					})
-				})
+				}, driver.WithPriors(ps, half.kind))
 			total.Merge(run)
 			for i := range half.ns {
 				half.ns[i].Value -= acc[i]

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"dpa/internal/bh"
+	"dpa/internal/driver"
+	"dpa/internal/em3d"
+	"dpa/internal/fmm"
+	"dpa/internal/machine"
+	"dpa/internal/stats"
+)
+
+// X9: cross-phase reuse priors and affinity-shaped tiles on repeated phases.
+// X7 judged the planner on single phases, where every phase is first contact
+// and the cold machine-model prior is all the evidence there is. Real runs
+// repeat their phases — BH computes forces every timestep, FMM every step,
+// EM3D alternates E and H halves — and the phases of one kind resemble each
+// other far more than the cold prior resembles any of them. The cross-phase
+// prior (DESIGN.md §13) folds each phase's measured reuse summary (per-owner
+// fetch histograms, RTT EWMAs, reuse-gap ceiling, iteration affinity) into a
+// per-(phase-kind, node) table that survives in the runner, so the first
+// strip of a repeated phase is planned from history: warm-started strip size,
+// pre-sized aggregation batches, reuse-gap retention, and — with shaping —
+// owner-major iteration runs chosen at plan time. The questions: does the
+// warm start beat the planner's cold start on repeated phases, do refetches
+// stay exactly zero, and does shaping pay on top?
+
+func init() {
+	register(Experiment{ID: "X9", Title: "Cross-phase priors and affinity-shaped tiles on repeated phases (extension)", Run: runX9})
+}
+
+func runX9(s *Session) {
+	const nodes = 16
+	s.printf("Repeated phases on %d nodes: the planner's cold start (X7) vs the\n", nodes)
+	s.printf("cross-phase prior (measured per-owner volumes lift the cold destLimit\n")
+	s.printf("cap, RTT-seeded latency bound, reuse-gap retention) vs prior+shape\n")
+	s.printf("(owner-major iteration runs chosen at plan time, so each owner's batch\n")
+	s.printf("fills in one contiguous run per strip). Phases repeat, so from the\n")
+	s.printf("second phase of each kind onward every boundary decision can come from\n")
+	s.printf("measured history; 'prior hits' counts decisions that did. Refetches\n")
+	s.printf("must stay exactly 0.\n\n")
+
+	apps := []struct {
+		name   string
+		phases string
+		run    func(spec driver.Spec) stats.Run
+	}{
+		{"BH", "3 steps", func(spec driver.Spec) stats.Run {
+			return bh.RunSteps(machine.DefaultT3D(nodes), spec, s.bhBodies, 3, s.bhPar)
+		}},
+		{"FMM", "3 steps", func(spec driver.Spec) stats.Run {
+			r, _ := fmm.RunSteps(machine.DefaultT3D(nodes), spec, s.fmmBodies, 3, s.fmmPar)
+			return r
+		}},
+		{"EM3D", "4 iters (8 phases)", func(spec driver.Spec) stats.Run {
+			// Heavier remote traffic than the default Olden shape (degree 16,
+			// 25% local): per-owner strip volumes exceed the cold 8×agg
+			// destLimit cap, the regime the prior's measured batch sizing is
+			// for. The defaults' sparser graph sits under the cap, where warm
+			// and cold batching coincide by construction.
+			prm := em3d.DefaultParams(s.W.EM3DNodes)
+			prm.Degree = 16
+			prm.LocalFrac = 0.25
+			r, _ := em3d.RunIters(machine.DefaultT3D(nodes), spec, prm, 4)
+			return r
+		}},
+	}
+
+	for _, app := range apps {
+		s.printf("%s, %s\n", app.name, app.phases)
+		s.printf("%-12s %12s %10s %10s %10s %10s %10s\n",
+			"runtime", "time", "fetches", "refetches", "reqmsgs", "priorhits", "shapedruns")
+		row := func(spec driver.Spec) stats.Run {
+			r := app.run(spec)
+			s.printf("%-12s %10.2fms %10d %10d %10d %10d %10d\n",
+				spec, s.Sec(r)*1e3, r.RT.Fetches, r.RT.Refetches, r.RT.ReqMsgs,
+				r.RT.PlanPriorHits, r.RT.ShapedRuns)
+			return r
+		}
+		pl := row(driver.DPASpec(50, driver.WithPlanner()))
+		pr := row(driver.DPASpec(50, driver.WithPrior()))
+		ps := row(driver.DPASpec(50, driver.WithShape()))
+		s.printf("prior tables: %.1f KB/node peak; mispredicts %d -> %d -> %d\n",
+			float64(ps.RT.PriorBytes)/1024, pl.RT.PlanMispredicts,
+			pr.RT.PlanMispredicts, ps.RT.PlanMispredicts)
+		s.printf("prior vs planner %+.2f%%, prior+shape vs planner %+.2f%%\n\n",
+			(float64(pr.Makespan)/float64(pl.Makespan)-1)*100,
+			(float64(ps.Makespan)/float64(pl.Makespan)-1)*100)
+	}
+}

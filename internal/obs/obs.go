@@ -76,6 +76,13 @@ const (
 	// fires only when the size actually changes) so planner runs record
 	// every boundary decision.
 	KPlan
+	// KPrior is a planner warm start from a cross-phase prior: Arg1 the
+	// strip size seeded from the prior's signals, Arg2 the top-level loop
+	// index.
+	KPrior
+	// KShape is an affinity-shaped loop: Arg1 the number of owner-major
+	// runs the shaped order emits, Arg2 the top-level loop index.
+	KShape
 	// NumKinds is the number of event kinds.
 	NumKinds
 )
@@ -103,6 +110,10 @@ func (k Kind) String() string {
 		return "barrier"
 	case KPlan:
 		return "plan"
+	case KPrior:
+		return "prior"
+	case KShape:
+		return "shape"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -70,6 +70,12 @@ func (r *Run) MetricsInto(reg *obs.Registry, phase string) {
 		Add(r.RT.PlanMispredicts, lbl()...)
 	reg.Counter("dpa_region_releases_total", "Renamed copies released at reuse-region close.").
 		Add(r.RT.RegionReleases, lbl()...)
+	reg.Counter("dpa_plan_prior_hits_total", "Planner decisions taken from a cross-phase prior.").
+		Add(r.RT.PlanPriorHits, lbl()...)
+	reg.Counter("dpa_shaped_runs_total", "Owner-major runs emitted by affinity-shaped loops.").
+		Add(r.RT.ShapedRuns, lbl()...)
+	reg.Gauge("dpa_prior_bytes", "Cross-phase prior table footprint on one node.").
+		Set(r.RT.PriorBytes, lbl()...)
 
 	flt := reg.Counter("dpa_faults_injected_total", "Faults injected, by fault kind.")
 	flt.Add(r.Faults.Dropped, lbl(obs.L("kind", "drop"))...)

@@ -121,6 +121,17 @@ type RTStats struct {
 	// region closed (planner mode's targeted alternative to the wholesale
 	// end-of-strip drop).
 	RegionReleases int64
+	// PlanPriorHits counts planner decisions taken from a cross-phase prior
+	// instead of cold state: warm-started first strips and affinity-shaped
+	// loops. Zero on a phase's first contact and whenever priors are off.
+	PlanPriorHits int64
+	// PriorBytes is the cross-phase prior table's memory footprint (max
+	// over nodes when merged), charged against the planner's renamed-copy
+	// budget headroom.
+	PriorBytes int64
+	// ShapedRuns counts the owner-major runs emitted by affinity-shaped
+	// loops (one run per distinct predicted owner per shaped loop).
+	ShapedRuns int64
 }
 
 // merge combines counters from another node or phase.
@@ -138,6 +149,11 @@ func (r *RTStats) merge(o RTStats) {
 	r.PlanStrips += o.PlanStrips
 	r.PlanMispredicts += o.PlanMispredicts
 	r.RegionReleases += o.RegionReleases
+	r.PlanPriorHits += o.PlanPriorHits
+	r.ShapedRuns += o.ShapedRuns
+	if o.PriorBytes > r.PriorBytes {
+		r.PriorBytes = o.PriorBytes
+	}
 	if o.FinalStrip > r.FinalStrip {
 		r.FinalStrip = o.FinalStrip
 	}
@@ -492,6 +508,10 @@ func (r *Run) Table(clockHz float64) string {
 	if rt.PlanStrips > 0 {
 		fmt.Fprintf(&b, "planner   %d strips planned, %d mispredicted, %d region releases\n",
 			rt.PlanStrips, rt.PlanMispredicts, rt.RegionReleases)
+	}
+	if rt.PlanPriorHits > 0 {
+		fmt.Fprintf(&b, "priors    %d prior hits, %d shaped runs, %.1f KB prior tables\n",
+			rt.PlanPriorHits, rt.ShapedRuns, float64(rt.PriorBytes)/1024)
 	}
 	if f := r.Faults; f.Any() {
 		fmt.Fprintf(&b, "faults    %d dropped, %d duplicated, %d jittered, %d stalls, %d crashed\n",

@@ -53,7 +53,10 @@ func TestPlannerDeterminismBarnesHut(t *testing.T) {
 
 // TestPlannerOffBitIdentical pins the compatibility contract: a spec without
 // WithPlanner must produce exactly the run it produced before the planner
-// existed — every planner code path is gated on the option.
+// existed, and a spec without WithPrior exactly the run it produced before
+// the cross-phase prior existed — every feature code path is gated on its
+// option. em3d.RunIters always carries a prior store, so the planner-only row
+// proves the store alone moves nothing.
 func TestPlannerOffBitIdentical(t *testing.T) {
 	prm := em3d.DefaultParams(160)
 	for _, spec := range []Spec{DPASpec(8), DPASpec(8, WithAdaptive())} {
@@ -61,5 +64,12 @@ func TestPlannerOffBitIdentical(t *testing.T) {
 		if r.RT.PlanStrips != 0 || r.RT.PlanMispredicts != 0 || r.RT.RegionReleases != 0 {
 			t.Errorf("%v: planner counters moved without WithPlanner: %+v", spec, r.RT)
 		}
+		if r.RT.PlanPriorHits != 0 || r.RT.PriorBytes != 0 || r.RT.ShapedRuns != 0 {
+			t.Errorf("%v: prior counters moved without WithPlanner: %+v", spec, r.RT)
+		}
+	}
+	r, _ := em3d.RunIters(DefaultT3D(4), DPASpec(8, WithPlanner()), prm, 2)
+	if r.RT.PlanPriorHits != 0 || r.RT.PriorBytes != 0 || r.RT.ShapedRuns != 0 {
+		t.Errorf("planner without WithPrior moved prior counters: %+v", r.RT)
 	}
 }
