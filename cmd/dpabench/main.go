@@ -4,10 +4,20 @@
 //
 // Usage:
 //
-//	dpabench -app bh|fmm|em3d -nodes 16 -runtime dpa|caching|blocking \
+//	dpabench -app bh|fmm|em3d|bfs|pagerank|cc -nodes 16 -runtime dpa|caching|blocking \
 //	         -engine sequential|parallel [-workers 8] [-nosteal] [-la-override 0] \
 //	         -bodies 16384 -strip 50 -agg 16 [-nopipe] [-steps 4] [-terms 29] \
-//	         [-adaptive] [-planner] [-prior] [-shape]
+//	         [-adaptive] [-planner] [-prior] [-shape] [-backend mdtable|cpma] \
+//	         [-vertices 16384] [-degree 8] [-graph rmat|uniform]
+//
+// The graph-analytics apps (bfs, pagerank, cc) run over a partitioned graph
+// generated deterministically from -seed: -vertices and -degree size it,
+// -graph picks the edge distribution (rmat or uniform), and -iters sets the
+// PageRank iteration count (BFS and CC run to completion). -backend selects
+// the DPA renamed-copy store for any app: mdtable (the paper's fused M/D
+// map) or cpma (the batch-merged compressed packed-memory array), letting
+// the same simulated traffic race the pointer-based layout against the
+// pointer-free one.
 //
 // The parallel engine is tuned with -workers (host workers, 0 = one per
 // core capped at the node count), -nosteal (pin each shard to its owner),
@@ -60,9 +70,11 @@ import (
 	"testing"
 
 	"dpa/internal/bh"
+	"dpa/internal/core"
 	"dpa/internal/driver"
 	"dpa/internal/em3d"
 	"dpa/internal/fmm"
+	"dpa/internal/graph"
 	"dpa/internal/machine"
 	"dpa/internal/nbody"
 	"dpa/internal/obs"
@@ -71,7 +83,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "bh", "application: bh, fmm, or em3d")
+	app := flag.String("app", "bh", "application: bh, fmm, em3d, bfs, pagerank, or cc")
 	nodes := flag.Int("nodes", 16, "simulated node count")
 	rtName := flag.String("runtime", "dpa", "runtime: dpa, caching, or blocking")
 	engine := flag.String("engine", "sequential", "simulation engine: sequential or parallel")
@@ -87,6 +99,11 @@ func main() {
 	planner := flag.Bool("planner", false, "enable DPA's predictive communication planner (cost-model strip sizing, reuse-region pinning, histogram-derived aggregation limits)")
 	prior := flag.Bool("prior", false, "enable the planner's cross-phase reuse prior (implies -planner; multi-phase apps warm-start repeated phases from measured history)")
 	shape := flag.Bool("shape", false, "enable affinity-shaped tiles (implies -prior; planned strips reorder iterations into owner-major runs)")
+	backend := flag.String("backend", "", "DPA renamed-copy store: mdtable (default) or cpma (compressed packed-memory array)")
+	vertices := flag.Int("vertices", 16384, "graph apps: vertex count")
+	degree := flag.Int("degree", 8, "graph apps: average degree")
+	graphKind := flag.String("graph", "rmat", "graph apps: edge distribution, rmat or uniform")
+	source := flag.Int("source", 0, "bfs: source vertex")
 	strips := flag.String("strips", "", "comma-separated strip sizes: run a static sweep plus adaptive and planner rows and print a comparison table")
 	agg := flag.Int("agg", 16, "DPA aggregation limit (1 disables, 0 unlimited)")
 	noPipe := flag.Bool("nopipe", false, "disable DPA message pipelining")
@@ -151,6 +168,9 @@ func main() {
 		if *shape {
 			opts = append(opts, driver.WithShape())
 		}
+		if *backend != "" {
+			opts = append(opts, driver.WithBackend(*backend))
+		}
 		spec = driver.DPASpec(*strip, opts...)
 	case "caching":
 		spec = driver.CachingSpec()
@@ -158,6 +178,10 @@ func main() {
 		spec = driver.BlockingSpec()
 	default:
 		fmt.Fprintf(os.Stderr, "dpabench: unknown runtime %q\n", *rtName)
+		os.Exit(1)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dpabench: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -264,6 +288,39 @@ func main() {
 			run, _ := em3d.RunIters(cfg, sp, prm, *iters)
 			return run
 		}
+	case "bfs", "pagerank", "cc":
+		gprm := graph.DefaultParams(*vertices)
+		gprm.Degree = *degree
+		gprm.Kind = *graphKind
+		gprm.Seed = *seed
+		if *graphKind != graph.KindRMAT && *graphKind != graph.KindUniform {
+			fmt.Fprintf(os.Stderr, "dpabench: unknown graph kind %q\n", *graphKind)
+			os.Exit(1)
+		}
+		if *source < 0 || *source >= *vertices {
+			fmt.Fprintf(os.Stderr, "dpabench: -source %d outside [0,%d)\n", *source, *vertices)
+			os.Exit(1)
+		}
+		switch *app {
+		case "bfs":
+			runWith = func(cfg machine.Config, sp driver.Spec) stats.Run {
+				run, _ := graph.RunBFS(cfg, sp, gprm, *source)
+				return run
+			}
+		case "pagerank":
+			runWith = func(cfg machine.Config, sp driver.Spec) stats.Run {
+				run, _ := graph.RunPageRank(cfg, sp, gprm, *iters)
+				return run
+			}
+		case "cc":
+			runWith = func(cfg machine.Config, sp driver.Spec) stats.Run {
+				run, _ := graph.RunCC(cfg, sp, gprm)
+				return run
+			}
+		}
+		// The workload-identity "bodies" slot carries the vertex count for
+		// the graph family (bench snapshots group on it).
+		*bodies = *vertices
 	default:
 		fmt.Fprintf(os.Stderr, "dpabench: unknown app %q\n", *app)
 		os.Exit(1)
@@ -456,6 +513,9 @@ func specFlags(spec driver.Spec) string {
 	}
 	if c.LIFO {
 		fs = append(fs, "lifo")
+	}
+	if c.Backend == core.BackendCPMA {
+		fs = append(fs, "cpma")
 	}
 	return strings.Join(fs, ",")
 }

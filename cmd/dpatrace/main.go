@@ -134,16 +134,20 @@ func parseTrace(data []byte) (*trace, error) {
 	return tr, nil
 }
 
-func printTotals(tr *trace, top int) {
-	fmt.Printf("nodes: %d\n\nper-node charge totals (cycles):\n", len(tr.pids))
-	fmt.Printf("%5s %12s %12s %12s\n", "node", "busy", "waiting", "total")
-	type row struct {
-		pid                  int
-		busy, waiting, total int64
-	}
-	rows := make([]row, 0, len(tr.pids))
+// nodeRow is one line of the per-node charge table.
+type nodeRow struct {
+	pid                  int
+	busy, waiting, total int64
+}
+
+// busyRows computes per-node charge totals, busiest node first. Equal busy
+// totals break by pid ascending — a busy-only comparator leaves tie order
+// unspecified, so the table (and which nodes survive the -top cut) would
+// not be a pure function of the trace.
+func busyRows(tr *trace) []nodeRow {
+	rows := make([]nodeRow, 0, len(tr.pids))
 	for _, pid := range tr.pids {
-		r := row{pid: pid}
+		r := nodeRow{pid: pid}
 		for _, s := range tr.nodes[pid].spans {
 			d := s.end - s.start
 			r.total += d
@@ -155,30 +159,55 @@ func printTotals(tr *trace, top int) {
 		}
 		rows = append(rows, r)
 	}
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i].busy > rows[j].busy })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].busy != rows[j].busy {
+			return rows[i].busy > rows[j].busy
+		}
+		return rows[i].pid < rows[j].pid
+	})
+	return rows
+}
+
+func printTotals(tr *trace, top int) {
+	fmt.Printf("nodes: %d\n\nper-node charge totals (cycles):\n", len(tr.pids))
+	fmt.Print(totalsTable(busyRows(tr), top))
+}
+
+// totalsTable renders the per-node table, truncated to top rows.
+func totalsTable(rows []nodeRow, top int) string {
+	b := fmt.Sprintf("%5s %12s %12s %12s\n", "node", "busy", "waiting", "total")
 	for i, r := range rows {
 		if i >= top {
-			fmt.Printf("  ... %d more nodes\n", len(rows)-top)
+			b += fmt.Sprintf("  ... %d more nodes\n", len(rows)-top)
 			break
 		}
-		fmt.Printf("%5d %12d %12d %12d\n", r.pid, r.busy, r.waiting, r.total)
+		b += fmt.Sprintf("%5d %12d %12d %12d\n", r.pid, r.busy, r.waiting, r.total)
 	}
+	return b
 }
 
 // fetchLatencies pairs every fetch_req with the same pointer's fetch_reply
-// on the same node and returns the round-trip latencies in cycles.
+// on the same node and returns the round-trip latencies in cycles. Requests
+// queue per key and each reply consumes at most the oldest outstanding one,
+// so a duplicated reply (the fault injector's dup fault, or a retransmit
+// race) is ignored instead of re-pairing, and a re-fetch of the same
+// pointer cannot overwrite the earlier request's timestamp.
 func fetchLatencies(tr *trace) []int64 {
 	var out []int64
 	for _, pid := range tr.pids {
-		pending := map[int64]int64{} // pointer key -> request ts
+		pending := map[int64][]int64{} // pointer key -> FIFO of request ts
 		for _, e := range tr.nodes[pid].events {
 			switch e.name {
 			case "fetch_req":
-				pending[e.a1] = e.ts
+				pending[e.a1] = append(pending[e.a1], e.ts)
 			case "fetch_reply":
-				if ts, ok := pending[e.a1]; ok {
-					out = append(out, e.ts-ts)
-					delete(pending, e.a1)
+				if q := pending[e.a1]; len(q) > 0 {
+					out = append(out, e.ts-q[0])
+					if len(q) == 1 {
+						delete(pending, e.a1)
+					} else {
+						pending[e.a1] = q[1:]
+					}
 				}
 			}
 		}

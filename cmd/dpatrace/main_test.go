@@ -77,6 +77,71 @@ func TestFetchLatencies(t *testing.T) {
 	}
 }
 
+// TestFetchLatenciesDuplicatedReplies: the reliability layer can deliver a
+// reply twice (dup fault, retransmit race), and a node can legitimately
+// re-request a key it dropped at a strip boundary. Each request must pair
+// with at most one reply, oldest-first, and surplus replies must be ignored.
+func TestFetchLatenciesDuplicatedReplies(t *testing.T) {
+	tr := obs.NewTracer(1, 0)
+	n := tr.Attach(0)
+	n.Span(sim.Compute, 0, 300)
+	n.Event(obs.KFetchReq, 10, 7, 1)    // first fetch of key 7
+	n.Event(obs.KFetchReq, 40, 7, 1)    // re-fetch of the same key
+	n.Event(obs.KFetchReply, 100, 7, 1) // answers the t=10 request: 90
+	n.Event(obs.KFetchReply, 120, 7, 1) // answers the t=40 request: 80
+	n.Event(obs.KFetchReply, 150, 7, 1) // duplicated reply: no request left, ignored
+	n.Event(obs.KFetchReply, 200, 9, 1) // reply with no request at all: ignored
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := parseTrace(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := fetchLatencies(parsed)
+	if len(lats) != 2 || lats[0] != 90 || lats[1] != 80 {
+		t.Fatalf("latencies = %v, want [90 80] (each request pairs once, dups ignored)", lats)
+	}
+}
+
+// TestBusyRowsTieBreak: nodes with equal busy totals must order by pid
+// ascending — the table and its -top truncation are part of the
+// deterministic output contract.
+func TestBusyRowsTieBreak(t *testing.T) {
+	tr := obs.NewTracer(4, 0)
+	// Nodes 3 and 1 tie at 100 busy cycles; node 2 leads; node 0 trails.
+	for pid, busy := range map[int]sim.Time{0: 50, 1: 100, 2: 200, 3: 100} {
+		n := tr.Attach(pid)
+		n.Span(sim.Compute, 0, busy)
+		n.Span(sim.Idle, busy, 400)
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := parseTrace(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := busyRows(parsed)
+	got := make([]int, len(rows))
+	for i, r := range rows {
+		got[i] = r.pid
+	}
+	if len(got) != 4 || got[0] != 2 || got[1] != 1 || got[2] != 3 || got[3] != 0 {
+		t.Fatalf("row order = %v, want [2 1 3 0] (busy desc, pid asc on ties)", got)
+	}
+	const want = "" +
+		" node         busy      waiting        total\n" +
+		"    2          200          200          400\n" +
+		"    1          100          300          400\n" +
+		"  ... 2 more nodes\n"
+	if table := totalsTable(rows, 2); table != want {
+		t.Fatalf("table golden mismatch:\n got:\n%s want:\n%s", table, want)
+	}
+}
+
 func TestLatencyHistogramBuckets(t *testing.T) {
 	h := latencyHistogram([]int64{1, 2, 3, 4, 100, 127, 128})
 	// 1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2; 100,127 -> bucket 6;

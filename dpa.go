@@ -266,6 +266,19 @@ func WithPrior() SpecOption { return driver.WithPrior() }
 // batch fills in contiguous runs.
 func WithShape() SpecOption { return driver.WithShape() }
 
+// Backend names accepted by WithBackend.
+const (
+	BackendMDTable = core.BackendMDTable
+	BackendCPMA    = core.BackendCPMA
+)
+
+// WithBackend selects the DPA runtime's renamed-copy store: BackendMDTable
+// (the paper's fused M/D map, the default) or BackendCPMA (a batch-merged
+// compressed packed-memory array with no per-copy pointers). The fetch
+// protocol and the determinism contract are identical under both backends;
+// only the copy store and its modeled memory footprint differ.
+func WithBackend(name string) SpecOption { return driver.WithBackend(name) }
+
 // PriorStore carries the planner's cross-phase reuse priors across the phase
 // boundaries of one multi-phase run; see NewPriorStore and WithPriors.
 type PriorStore = driver.PriorStore

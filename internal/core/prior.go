@@ -58,7 +58,11 @@ type PriorTable struct {
 	Stall   sim.Time
 	// ReuseGap is the maximum strip gap between successive references to a
 	// live renamed copy observed last phase — the retention window that
-	// keeps still-live reuse regions pinned under memory pressure.
+	// keeps still-live reuse regions pinned under memory pressure. Recorded
+	// through satGap, so it saturates at math.MaxInt32 instead of
+	// overflowing: the fingerprint and snapshot encodings truncate it to
+	// uint32, and a wrapped negative gap would silently corrupt both and
+	// turn the retention window off.
 	ReuseGap int32
 
 	// Owners is the per-owner fetch/RTT record, indexed by node.
@@ -81,6 +85,24 @@ const (
 
 // Empty reports whether the table has never been folded into.
 func (pt *PriorTable) Empty() bool { return pt == nil || pt.Phases == 0 }
+
+// satGap returns the strip gap cur-last, widened to 64 bits and saturated
+// to [0, math.MaxInt32]. The gap feeds PriorTable.ReuseGap; int32
+// subtraction would overflow when the distance exceeds 2^31-1 strips (a
+// long-running phase wrapping the strip counter), producing a negative
+// ceiling that disables retention and corrupts the uint32-truncating
+// fingerprint/snapshot encodings. Saturating keeps the semantic reading —
+// "the copy was reused after an enormous gap" — monotone.
+func satGap(cur, last int32) int32 {
+	g := int64(cur) - int64(last)
+	if g > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if g < 0 {
+		return 0
+	}
+	return int32(g)
+}
 
 // ByteSize is the host memory the table pins across phases. It is charged
 // against the planner's renamed-copy memory budget (the table competes with

@@ -1,0 +1,291 @@
+// Package cpma implements a batch-parallel compressed packed-memory array
+// in the style of Wheatman & Buluç's CPMA (PAPERS.md): a sorted set held in
+// flat arrays with no per-element pointers, updated by batch merges and kept
+// balanced by segment redistribution. The repo uses it as an alternative
+// requester-side store for renamed global-object copies: where the fused
+// M/D table keeps one map entry (and one heap pointer) per copy, the CPMA
+// keeps the copies in packed leaf segments keyed by the global pointer's
+// 64-bit key, with the key columns delta-compressed for the modeled memory
+// accounting.
+//
+// The store is deliberately host-sequential — the simulator's determinism
+// contract forbids host parallelism from influencing simulated state — but
+// it preserves the CPMA's defining operations: batched sorted-merge inserts
+// (one merge per fetch reply, not one probe per element) and density-driven
+// segment splits standing in for PMA redistribution. All operations are
+// pure functions of the inserted key sequence, so runs stay bit-identical
+// across engines, repeats, and seeded faults.
+package cpma
+
+import (
+	"sort"
+
+	"dpa/internal/gptr"
+	"dpa/internal/sim"
+)
+
+// segTarget is the leaf-segment size the store redistributes toward; segMax
+// is the density ceiling that triggers redistribution. The 2× gap is the
+// classic PMA slack that amortizes splits across batches.
+const (
+	segTarget = 64
+	segMax    = 2 * segTarget
+)
+
+// seg is one packed leaf: parallel sorted key/object columns. keyBytes
+// caches the segment's delta-compressed key size so CompressedBytes is O(1)
+// per query.
+type seg struct {
+	keys     []uint64
+	objs     []gptr.Object
+	keyBytes int64
+}
+
+// Store is the packed-memory store. The zero value is not usable; call New.
+type Store struct {
+	segs []seg
+	n    int   // element count
+	objB int64 // modeled object payload bytes
+
+	// batch-merge scratch, reused across InsertBatch calls.
+	mk []uint64
+	mo []gptr.Object
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// Len returns the number of stored elements.
+func (s *Store) Len() int { return s.n }
+
+// Clear drops every element, keeping top-level capacity for reuse (stores
+// are cleared at every strip boundary in static mode).
+func (s *Store) Clear() {
+	s.segs = s.segs[:0]
+	s.n = 0
+	s.objB = 0
+}
+
+// Get returns the object stored under key. The lookup is two binary
+// searches over flat arrays — the pointer-free probe the CPMA trades the
+// hash map's chasing for.
+func (s *Store) Get(key uint64) (gptr.Object, bool) {
+	si := s.findSeg(key)
+	if si < 0 {
+		return nil, false
+	}
+	ks := s.segs[si].keys
+	i := sort.Search(len(ks), func(j int) bool { return ks[j] >= key })
+	if i < len(ks) && ks[i] == key {
+		return s.segs[si].objs[i], true
+	}
+	return nil, false
+}
+
+// findSeg returns the index of the segment whose key range covers key
+// (the last segment whose first key is <= key), or -1 for an empty store
+// or a key below every fence.
+func (s *Store) findSeg(key uint64) int {
+	// First segment whose fence exceeds key; the covering segment is the
+	// one before it.
+	i := sort.Search(len(s.segs), func(j int) bool { return s.segs[j].keys[0] > key })
+	return i - 1
+}
+
+// InsertBatch merges the batch into the store as one sorted merge per
+// touched segment — the CPMA's batch-parallel insert, host-sequential here.
+// Duplicate keys (within the batch or against the store) overwrite in
+// place. It returns the number of elements newly inserted and the number of
+// segment redistributions (splits/rebuilds) the merge forced.
+func (s *Store) InsertBatch(keys []uint64, objs []gptr.Object) (inserted, rebalances int) {
+	if len(keys) == 0 {
+		return 0, 0
+	}
+	bk, bo := s.sortBatch(keys, objs)
+	if len(s.segs) == 0 {
+		// Copy out of the scratch columns: segments alias their slices.
+		s.rebuild(0, 0, append([]uint64(nil), bk...), append([]gptr.Object(nil), bo...))
+		s.n += len(bk)
+		for _, o := range bo {
+			s.objB += int64(o.ByteSize())
+		}
+		return len(bk), len(s.segs)
+	}
+	// Walk the sorted batch once, slicing it into per-segment runs.
+	for lo := 0; lo < len(bk); {
+		si := s.findSeg(bk[lo])
+		if si < 0 {
+			si = 0 // keys below every fence merge into the first segment
+		}
+		hi := lo + 1
+		if si+1 < len(s.segs) {
+			fence := s.segs[si+1].keys[0]
+			for hi < len(bk) && bk[hi] < fence {
+				hi++
+			}
+		} else {
+			hi = len(bk)
+		}
+		ins, reb := s.mergeRun(si, bk[lo:hi], bo[lo:hi])
+		inserted += ins
+		rebalances += reb
+		lo = hi
+	}
+	return inserted, rebalances
+}
+
+// sortBatch returns the batch in ascending key order with in-batch
+// duplicates collapsed (last write wins), using the store's scratch
+// columns. Fetch batches arrive nearly sorted (aggregation buffers fill in
+// pointer-discovery order within one owner), so the sort is cheap.
+func (s *Store) sortBatch(keys []uint64, objs []gptr.Object) ([]uint64, []gptr.Object) {
+	s.mk = append(s.mk[:0], keys...)
+	s.mo = append(s.mo[:0], objs...)
+	bk, bo := s.mk, s.mo
+	// Insertion sort, moving the columns together: batches are one reply
+	// (tens of elements) and nearly sorted.
+	for i := 1; i < len(bk); i++ {
+		k, o := bk[i], bo[i]
+		j := i - 1
+		for j >= 0 && bk[j] > k {
+			bk[j+1], bo[j+1] = bk[j], bo[j]
+			j--
+		}
+		bk[j+1], bo[j+1] = k, o
+	}
+	// Collapse duplicates in place.
+	w := 0
+	for i := 0; i < len(bk); i++ {
+		if w > 0 && bk[w-1] == bk[i] {
+			bo[w-1] = bo[i]
+			continue
+		}
+		bk[w], bo[w] = bk[i], bo[i]
+		w++
+	}
+	return bk[:w], bo[:w]
+}
+
+// mergeRun merges one sorted, deduplicated run into segment si, then
+// redistributes if the segment overflowed its density ceiling.
+func (s *Store) mergeRun(si int, rk []uint64, ro []gptr.Object) (inserted, rebalances int) {
+	sg := &s.segs[si]
+	mk := make([]uint64, 0, len(sg.keys)+len(rk))
+	mo := make([]gptr.Object, 0, len(sg.keys)+len(rk))
+	i, j := 0, 0
+	for i < len(sg.keys) && j < len(rk) {
+		switch {
+		case sg.keys[i] < rk[j]:
+			mk = append(mk, sg.keys[i])
+			mo = append(mo, sg.objs[i])
+			i++
+		case sg.keys[i] > rk[j]:
+			mk = append(mk, rk[j])
+			mo = append(mo, ro[j])
+			s.objB += int64(ro[j].ByteSize())
+			inserted++
+			j++
+		default: // overwrite
+			s.objB += int64(ro[j].ByteSize()) - int64(sg.objs[i].ByteSize())
+			mk = append(mk, rk[j])
+			mo = append(mo, ro[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(sg.keys); i++ {
+		mk = append(mk, sg.keys[i])
+		mo = append(mo, sg.objs[i])
+	}
+	for ; j < len(rk); j++ {
+		mk = append(mk, rk[j])
+		mo = append(mo, ro[j])
+		s.objB += int64(ro[j].ByteSize())
+		inserted++
+	}
+	s.n += inserted
+	if len(mk) <= segMax {
+		sg.keys, sg.objs = mk, mo
+		sg.keyBytes = deltaBytes(mk)
+		return inserted, 0
+	}
+	// Density violation: redistribute the merged run over fresh segments of
+	// the target size — the PMA rebalance, counted for the stats line.
+	return inserted, s.rebuild(si, 1, mk, mo)
+}
+
+// rebuild replaces replace segments starting at si with ceil(len/segTarget)
+// balanced segments holding the given sorted columns, returning the number
+// of segments written (the redistribution cost).
+func (s *Store) rebuild(si, replace int, mk []uint64, mo []gptr.Object) int {
+	nseg := (len(mk) + segTarget - 1) / segTarget
+	if nseg == 0 {
+		return 0
+	}
+	per := (len(mk) + nseg - 1) / nseg
+	fresh := make([]seg, 0, nseg)
+	for lo := 0; lo < len(mk); lo += per {
+		hi := lo + per
+		if hi > len(mk) {
+			hi = len(mk)
+		}
+		fresh = append(fresh, seg{
+			keys:     mk[lo:hi:hi],
+			objs:     mo[lo:hi:hi],
+			keyBytes: deltaBytes(mk[lo:hi]),
+		})
+	}
+	tail := append([]seg(nil), s.segs[si+replace:]...)
+	s.segs = append(append(s.segs[:si], fresh...), tail...)
+	return len(fresh)
+}
+
+// deltaBytes is the modeled compressed size of one segment's key column:
+// the first key verbatim, every following key as the minimal byte count of
+// its delta to the predecessor — the byte-granular delta coding the CPMA
+// compresses its packed leaves with.
+func deltaBytes(keys []uint64) int64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	b := int64(8)
+	for i := 1; i < len(keys); i++ {
+		d := keys[i] - keys[i-1]
+		n := int64(1)
+		for d > 0xff {
+			d >>= 8
+			n++
+		}
+		b += n
+	}
+	return b
+}
+
+// CompressedBytes returns the modeled resident size of the store: the
+// delta-compressed key columns plus the object payloads. This is the number
+// the runtime's renamed-copy memory accounting (arrived bytes, retention
+// budgets) sees when the CPMA backend is selected.
+func (s *Store) CompressedBytes() int64 {
+	var kb int64
+	for i := range s.segs {
+		kb += s.segs[i].keyBytes
+	}
+	return kb + s.objB
+}
+
+// Fingerprint folds the stored key sequence and layout into a snapshot
+// digest: element order is canonical (sorted), so the digest is identical
+// across engines whenever the stored sets are.
+func (s *Store) Fingerprint() uint64 {
+	h := uint64(0x63706d61) // "cpma"
+	for i := range s.segs {
+		h = sim.MixFP(h, uint64(len(s.segs[i].keys)))
+		for _, k := range s.segs[i].keys {
+			h = sim.MixFP(h, k)
+		}
+	}
+	return sim.MixFP(h, uint64(s.n))
+}
+
+// Segments returns the current leaf count (for tests and stats).
+func (s *Store) Segments() int { return len(s.segs) }

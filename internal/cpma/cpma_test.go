@@ -1,0 +1,220 @@
+package cpma
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dpa/internal/gptr"
+)
+
+type obj struct{ sz int }
+
+func (o *obj) ByteSize() int { return o.sz }
+
+func insert(t *testing.T, s *Store, keys ...uint64) {
+	t.Helper()
+	objs := make([]gptr.Object, len(keys))
+	for i := range keys {
+		objs[i] = &obj{sz: 24}
+	}
+	s.InsertBatch(keys, objs)
+}
+
+func TestStoreBasic(t *testing.T) {
+	s := New()
+	if _, ok := s.Get(1); ok || s.Len() != 0 {
+		t.Fatal("empty store claims contents")
+	}
+	insert(t, s, 5, 1, 9, 3)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	for _, k := range []uint64{1, 3, 5, 9} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	for _, k := range []uint64{0, 2, 4, 10} {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+	s.Clear()
+	if s.Len() != 0 || s.CompressedBytes() != 0 || s.Segments() != 0 {
+		t.Fatal("Clear left residue")
+	}
+	if _, ok := s.Get(5); ok {
+		t.Fatal("cleared store still answers")
+	}
+}
+
+func TestStoreOverwriteAndDuplicates(t *testing.T) {
+	s := New()
+	a, b := &obj{sz: 10}, &obj{sz: 30}
+	ins, _ := s.InsertBatch([]uint64{7, 7}, []gptr.Object{a, b})
+	if ins != 1 || s.Len() != 1 {
+		t.Fatalf("in-batch dup: inserted %d len %d, want 1/1", ins, s.Len())
+	}
+	if o, _ := s.Get(7); o != gptr.Object(b) {
+		t.Fatal("in-batch dup did not keep the last write")
+	}
+	if got := s.CompressedBytes(); got != 8+30 {
+		t.Fatalf("bytes = %d, want 38 (8-byte key + 30-byte object)", got)
+	}
+	ins, _ = s.InsertBatch([]uint64{7}, []gptr.Object{a})
+	if ins != 0 || s.Len() != 1 {
+		t.Fatalf("overwrite counted as insert: %d/%d", ins, s.Len())
+	}
+	if got := s.CompressedBytes(); got != 8+10 {
+		t.Fatalf("bytes after overwrite = %d, want 18", got)
+	}
+}
+
+// TestStoreMatchesMap drives random batches against a reference map and
+// checks contents, counts, and balance invariants after every batch.
+func TestStoreMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New()
+	ref := map[uint64]gptr.Object{}
+	var wantBytes int64
+	for batch := 0; batch < 200; batch++ {
+		n := 1 + rng.Intn(40)
+		keys := make([]uint64, n)
+		objs := make([]gptr.Object, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(2000))
+			objs[i] = &obj{sz: 8 + rng.Intn(64)}
+		}
+		wantIns := 0
+		for i := range keys {
+			if _, ok := ref[keys[i]]; !ok {
+				// Only the first occurrence of a new key is an insert; later
+				// ones in the same batch overwrite.
+				dupEarlier := false
+				for j := 0; j < i; j++ {
+					if keys[j] == keys[i] {
+						dupEarlier = true
+					}
+				}
+				if !dupEarlier {
+					wantIns++
+				}
+			}
+			ref[keys[i]] = objs[i]
+		}
+		ins, _ := s.InsertBatch(keys, objs)
+		if ins != wantIns {
+			t.Fatalf("batch %d: inserted %d, want %d", batch, ins, wantIns)
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("batch %d: Len %d, want %d", batch, s.Len(), len(ref))
+		}
+	}
+	for k, o := range ref {
+		got, ok := s.Get(k)
+		if !ok || got != o {
+			t.Fatalf("key %d: got %v ok=%v, want %v", k, got, ok, o)
+		}
+		wantBytes += int64(o.ByteSize())
+	}
+	// Key columns stay sorted, within density bounds, with ordered fences.
+	var prev uint64
+	first := true
+	for i := range s.segs {
+		sg := &s.segs[i]
+		if len(sg.keys) == 0 || len(sg.keys) > segMax {
+			t.Fatalf("segment %d size %d violates (0, %d]", i, len(sg.keys), segMax)
+		}
+		for _, k := range sg.keys {
+			if !first && k <= prev {
+				t.Fatalf("key order violated at %d", k)
+			}
+			prev, first = k, false
+		}
+		if sg.keyBytes != deltaBytes(sg.keys) {
+			t.Fatalf("segment %d cached keyBytes stale", i)
+		}
+	}
+	if got := s.CompressedBytes(); got <= wantBytes {
+		t.Fatalf("CompressedBytes %d must exceed payload bytes %d", got, wantBytes)
+	}
+	if got := s.CompressedBytes(); got >= wantBytes+8*int64(s.Len()) {
+		t.Fatalf("CompressedBytes %d not compressed vs raw keys (%d)",
+			got, wantBytes+8*int64(s.Len()))
+	}
+}
+
+// TestStoreDeterministicLayout: identical insert sequences must produce
+// identical fingerprints, and the fingerprint must be a function of the
+// contents' canonical order, not host state.
+func TestStoreDeterministicLayout(t *testing.T) {
+	build := func() *Store {
+		rng := rand.New(rand.NewSource(9))
+		s := New()
+		for batch := 0; batch < 50; batch++ {
+			n := 1 + rng.Intn(30)
+			keys := make([]uint64, n)
+			objs := make([]gptr.Object, n)
+			for i := range keys {
+				keys[i] = rng.Uint64() % 10_000
+				objs[i] = &obj{sz: 24}
+			}
+			s.InsertBatch(keys, objs)
+		}
+		return s
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical insert sequences produced different fingerprints")
+	}
+	if a.CompressedBytes() != b.CompressedBytes() || a.Segments() != b.Segments() {
+		t.Fatal("identical insert sequences produced different layouts")
+	}
+}
+
+func TestDeltaBytes(t *testing.T) {
+	if got := deltaBytes(nil); got != 0 {
+		t.Fatalf("empty = %d", got)
+	}
+	if got := deltaBytes([]uint64{42}); got != 8 {
+		t.Fatalf("single = %d, want 8", got)
+	}
+	// Deltas 1 (1 byte) and 0x1_0000 (3 bytes).
+	if got := deltaBytes([]uint64{10, 11, 11 + 0x10000}); got != 8+1+3 {
+		t.Fatalf("deltas = %d, want 12", got)
+	}
+}
+
+func TestRebalanceCounts(t *testing.T) {
+	s := New()
+	keys := make([]uint64, segMax+1)
+	objs := make([]gptr.Object, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i)
+		objs[i] = &obj{sz: 8}
+	}
+	// Seed one full segment, then push it past the ceiling one batch later.
+	_, reb0 := s.InsertBatch(keys[:segTarget], objs[:segTarget])
+	if reb0 != 1 {
+		t.Fatalf("initial build rebalances = %d, want 1", reb0)
+	}
+	_, reb1 := s.InsertBatch(keys[segTarget:], objs[segTarget:])
+	if reb1 == 0 {
+		t.Fatal("overflow merge reported no redistribution")
+	}
+	if s.Segments() < 2 {
+		t.Fatalf("segments = %d after overflow, want >= 2", s.Segments())
+	}
+	// All keys still present and sorted.
+	got := make([]uint64, 0, s.Len())
+	for i := range s.segs {
+		got = append(got, s.segs[i].keys...)
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Fatal("keys unsorted after redistribution")
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("element count %d, want %d", len(got), len(keys))
+	}
+}

@@ -30,7 +30,10 @@ type Workload struct {
 	// EM3DNodes is the per-kind node count for the EM3D extension
 	// experiments.
 	EM3DNodes int
-	Seed      int64
+	// GraphVertices sizes the graph-analytics extension experiments (BFS,
+	// PageRank, connected components).
+	GraphVertices int
+	Seed          int64
 	// MaxNodes caps processor sweeps (64 reproduces the paper's T3D).
 	MaxNodes int
 }
@@ -39,13 +42,15 @@ type Workload struct {
 // steps; FMM with 32,768 bodies and 29 terms for 1 step; 64 nodes.
 func Full() Workload {
 	return Workload{Name: "full", BHBodies: 16384, BHSteps: 4,
-		FMMBodies: 32768, FMMTerms: 29, EM3DNodes: 16384, Seed: 42, MaxNodes: 64}
+		FMMBodies: 32768, FMMTerms: 29, EM3DNodes: 16384, GraphVertices: 16384,
+		Seed: 42, MaxNodes: 64}
 }
 
 // Scaled returns a reduced workload with the same qualitative behaviour.
 func Scaled() Workload {
 	return Workload{Name: "scaled", BHBodies: 4096, BHSteps: 1,
-		FMMBodies: 8192, FMMTerms: 29, EM3DNodes: 4096, Seed: 42, MaxNodes: 64}
+		FMMBodies: 8192, FMMTerms: 29, EM3DNodes: 4096, GraphVertices: 4096,
+		Seed: 42, MaxNodes: 64}
 }
 
 // procSweep returns the paper's processor counts up to the cap.

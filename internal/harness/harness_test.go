@@ -10,11 +10,12 @@ import (
 // tinyWorkload keeps harness tests fast.
 func tinyWorkload() Workload {
 	return Workload{Name: "tiny", BHBodies: 512, BHSteps: 1,
-		FMMBodies: 512, FMMTerms: 8, EM3DNodes: 256, Seed: 1, MaxNodes: 4}
+		FMMBodies: 512, FMMTerms: 8, EM3DNodes: 256, GraphVertices: 256,
+		Seed: 1, MaxNodes: 4}
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"F1", "F2", "F3", "F4", "F5", "F6", "T1", "T2", "T3", "T4", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9"}
+	want := []string{"F1", "F2", "F3", "F4", "F5", "F6", "T1", "T2", "T3", "T4", "X1", "X10", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -71,23 +72,24 @@ func TestSessionMemoizes(t *testing.T) {
 func TestExperimentsProduceOutput(t *testing.T) {
 	// Each experiment must render something containing its key tokens.
 	tokens := map[string][]string{
-		"T1": {"Barnes-Hut", "FMM", "paper"},
-		"T2": {"DPA (50)", "Caching", "118.02"},
-		"T3": {"DPA (50)", "7.39", "54-fold"},
-		"T4": {"strip", "outst", "fetches"},
-		"F1": {"Blocking", "DPA +aggregation", "Caching", "local="},
-		"F2": {"strip size 300", "DPA"},
-		"F3": {"speedup", "DPA(50)", "Blocking"},
-		"F4": {"strip", "BH (P=16)"},
-		"F5": {"agg limit", "objs/msg"},
-		"F6": {"poll", "DPA(50)"},
-		"X1": {"EM3D", "req msgs"},
-		"X2": {"FIFO", "LIFO", "peak outst."},
-		"X3": {"unbounded", "fetches"},
-		"X4": {"hit rate", "LIFO"},
-		"X5": {"loss", "retrans", "overhead", "EM3D", "BH"},
-		"X6": {"adaptive", "final strip", "vs best static", "EM3D"},
-		"X9": {"priorhits", "shapedruns", "prior+shape vs planner"},
+		"T1":  {"Barnes-Hut", "FMM", "paper"},
+		"T2":  {"DPA (50)", "Caching", "118.02"},
+		"T3":  {"DPA (50)", "7.39", "54-fold"},
+		"T4":  {"strip", "outst", "fetches"},
+		"F1":  {"Blocking", "DPA +aggregation", "Caching", "local="},
+		"F2":  {"strip size 300", "DPA"},
+		"F3":  {"speedup", "DPA(50)", "Blocking"},
+		"F4":  {"strip", "BH (P=16)"},
+		"F5":  {"agg limit", "objs/msg"},
+		"F6":  {"poll", "DPA(50)"},
+		"X1":  {"EM3D", "req msgs"},
+		"X2":  {"FIFO", "LIFO", "peak outst."},
+		"X3":  {"unbounded", "fetches"},
+		"X4":  {"hit rate", "LIFO"},
+		"X5":  {"loss", "retrans", "overhead", "EM3D", "BH"},
+		"X6":  {"adaptive", "final strip", "vs best static", "EM3D"},
+		"X9":  {"priorhits", "shapedruns", "prior+shape vs planner"},
+		"X10": {"BFS", "PageRank", "cpma store", "peak copies"},
 	}
 	for _, e := range All() {
 		var sb strings.Builder

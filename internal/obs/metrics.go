@@ -125,13 +125,25 @@ func (r *Registry) metric(name, help string, t MetricType) *Metric {
 // Metrics returns the registered metrics in registration order.
 func (r *Registry) Metrics() []*Metric { return r.metrics }
 
+// promLabelEscaper and promHelpEscaper implement the two escape rules of
+// the Prometheus text exposition format 0.0.4: label values escape
+// backslash, double-quote, and line feed; HELP text escapes backslash and
+// line feed only (it is not quoted, so `"` stays literal). Everything else
+// — tabs, non-ASCII UTF-8 — passes through verbatim. Go's %q is NOT this
+// format: it would also escape tabs and non-printables into Go syntax a
+// Prometheus parser reads literally.
+var (
+	promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	promHelpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, m := range r.metrics {
 		if m.Help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, promHelpEscaper.Replace(m.Help))
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
 		for _, s := range m.Samples {
@@ -142,7 +154,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					if i > 0 {
 						bw.WriteByte(',')
 					}
-					fmt.Fprintf(bw, "%s=%q", l.Key, l.Value)
+					fmt.Fprintf(bw, `%s="%s"`, l.Key, promLabelEscaper.Replace(l.Value))
 				}
 				bw.WriteByte('}')
 			}

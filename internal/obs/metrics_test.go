@@ -17,6 +17,13 @@ func testRegistry() *Registry {
 	g2 := r.Gauge("dpa_peak_outstanding_threads", "")
 	g2.Set(7)
 	g2.Set(9) // Set overwrites
+	// Escape torture: the label value carries all three characters the
+	// Prometheus text format escapes (backslash, quote, newline) plus a tab
+	// and non-ASCII runes that must pass through verbatim (Go's %q would
+	// over-escape them). The help string carries backslash + newline, which
+	// HELP escapes, and a quote, which HELP leaves literal.
+	e := r.Counter("dpa_trace_export_errors_total", "Export failures by \"sink\".\nPaths are under C:\\dpa.")
+	e.Add(3, L("sink", "C:\\spool\n\"prom\""), L("detail", "tab\tand·µ pass through"))
 	return r
 }
 
@@ -29,12 +36,16 @@ dpa_cycles_total{category="idle"} 40
 dpa_makespan_cycles 1234
 # TYPE dpa_peak_outstanding_threads gauge
 dpa_peak_outstanding_threads 9
+# HELP dpa_trace_export_errors_total Export failures by "sink".\nPaths are under C:\\dpa.
+# TYPE dpa_trace_export_errors_total counter
+dpa_trace_export_errors_total{sink="C:\\spool\n\"prom\"",detail="tab	and·µ pass through"} 3
 `
 
 const wantJSON = `{"metrics":[
 {"name":"dpa_cycles_total","type":"counter","help":"Cycles charged per category.","samples":[{"labels":{"category":"compute"},"value":105},{"labels":{"category":"idle"},"value":40}]},
 {"name":"dpa_makespan_cycles","type":"gauge","help":"Phase makespan in cycles.","samples":[{"labels":{},"value":1234}]},
-{"name":"dpa_peak_outstanding_threads","type":"gauge","help":"","samples":[{"labels":{},"value":9}]}
+{"name":"dpa_peak_outstanding_threads","type":"gauge","help":"","samples":[{"labels":{},"value":9}]},
+{"name":"dpa_trace_export_errors_total","type":"counter","help":"Export failures by \"sink\".\nPaths are under C:\\dpa.","samples":[{"labels":{"sink":"C:\\spool\n\"prom\"","detail":"tab\tand·µ pass through"},"value":3}]}
 ]}
 `
 
